@@ -1,0 +1,231 @@
+// Command steerq-bench regenerates every table and figure of the paper on
+// the simulated stack and prints them in order. Use -exp to run a single
+// experiment.
+//
+// Usage:
+//
+//	steerq-bench [-scale 0.01] [-seed 2021] [-m 300] [-exp all|table1..table5|fig1..fig8|ablations|extensions] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"steerq/internal/experiments"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.01, "workload scale (1.0 = the paper's 150K daily jobs)")
+		seed    = flag.Uint64("seed", 2021, "experiment seed")
+		m       = flag.Int("m", 300, "candidate configurations per analyzed job (paper: up to 1000)")
+		expName = flag.String("exp", "all", "experiment to run (all, table1..table5, fig1..fig8)")
+		verbose = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Candidates = *m
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	r := experiments.NewRunner(cfg)
+	out := os.Stdout
+
+	names := strings.Split(*expName, ",")
+	want := func(n string) bool {
+		for _, x := range names {
+			if x == "all" || x == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	run := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Fprintln(out)
+	}
+
+	run("table1", func() error { return render1(r, out) })
+	run("table2", func() error { return render2(r, out) })
+	run("fig2", func() error { return renderF2(r, out) })
+	run("fig3", func() error { return renderF3(r, out) })
+	run("fig4", func() error { return renderF4(r, out) })
+	run("fig5", func() error { return renderF5(r, out) })
+	run("fig6", func() error { return renderF6(r, out) })
+	run("table3", func() error { return render3(r, out) })
+	run("table4", func() error { return render4(r, out) })
+	run("fig7", func() error { return renderF7(r, out) })
+	run("fig1", func() error { return renderF1(r, out) })
+	run("ablations", func() error { return renderAblations(r, out) })
+	run("extensions", func() error { return renderExtensions(r, out) })
+	var learn *experiments.LearningRun
+	run("table5", func() error {
+		var err error
+		learn, err = r.Learning("B", 14, 3)
+		if err != nil {
+			return err
+		}
+		(&experiments.Table5{Run: learn}).Render(out)
+		return nil
+	})
+	run("fig8", func() error {
+		if learn == nil {
+			var err error
+			learn, err = r.Learning("B", 14, 3)
+			if err != nil {
+				return err
+			}
+		}
+		(&experiments.Figure8{Run: learn}).Render(out)
+		return nil
+	})
+}
+
+func render1(r *experiments.Runner, w io.Writer) error {
+	t, err := r.Table1(0)
+	if err != nil {
+		return err
+	}
+	t.Render(w)
+	return nil
+}
+
+func render2(r *experiments.Runner, w io.Writer) error {
+	t, err := r.Table2("A", 0)
+	if err != nil {
+		return err
+	}
+	t.Render(w)
+	return nil
+}
+
+func render3(r *experiments.Runner, w io.Writer) error {
+	t, err := r.Table3(0)
+	if err != nil {
+		return err
+	}
+	t.Render(w)
+	return nil
+}
+
+func render4(r *experiments.Runner, w io.Writer) error {
+	t, err := r.Table4(0, 3)
+	if err != nil {
+		return err
+	}
+	t.Render(w)
+	return nil
+}
+
+func renderF1(r *experiments.Runner, w io.Writer) error {
+	f, err := r.Figure1("A", 7, 65)
+	if err != nil {
+		return err
+	}
+	f.Render(w)
+	return nil
+}
+
+func renderF2(r *experiments.Runner, w io.Writer) error {
+	f, err := r.Figure2("A", 0)
+	if err != nil {
+		return err
+	}
+	f.Render(w)
+	return nil
+}
+
+func renderF3(r *experiments.Runner, w io.Writer) error {
+	f, err := r.Figure3("A", 0, 150)
+	if err != nil {
+		return err
+	}
+	f.Render(w)
+	return nil
+}
+
+func renderF4(r *experiments.Runner, w io.Writer) error {
+	f, err := r.Figure4("A", 0, 15)
+	if err != nil {
+		return err
+	}
+	f.Render(w)
+	return nil
+}
+
+func renderF5(r *experiments.Runner, w io.Writer) error {
+	f, err := r.Figure5("A", 0)
+	if err != nil {
+		return err
+	}
+	f.Render(w)
+	return nil
+}
+
+func renderF6(r *experiments.Runner, w io.Writer) error {
+	for _, name := range []string{"A", "B", "C"} {
+		f, err := r.Figure6(name, 0)
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+	}
+	return nil
+}
+
+func renderF7(r *experiments.Runner, w io.Writer) error {
+	f, err := r.Figure7("B", 2)
+	if err != nil {
+		return err
+	}
+	f.Render(w)
+	return nil
+}
+
+func renderAblations(r *experiments.Runner, w io.Writer) error {
+	rvg, err := r.RandomVsGuided("A", 0, 12, 8)
+	if err != nil {
+		return err
+	}
+	rvg.Render(w)
+	fmt.Fprintln(w)
+	ss, err := r.SpanSearch("A", 0, 25, 40)
+	if err != nil {
+		return err
+	}
+	ss.Render(w)
+	fmt.Fprintln(w)
+	gr, err := r.Grouping("B", 7)
+	if err != nil {
+		return err
+	}
+	gr.Render(w)
+	return nil
+}
+
+func renderExtensions(r *experiments.Runner, w io.Writer) error {
+	e, err := r.Extensions("A", 0, 8)
+	if err != nil {
+		return err
+	}
+	e.Render(w)
+	return nil
+}

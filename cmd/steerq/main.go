@@ -1,0 +1,392 @@
+// Command steerq is the interactive CLI over the steering stack: compile a
+// SCOPE-like script against a generated workload's catalog, inspect its plan,
+// rule signature and job span, search candidate configurations, and run the
+// discovery pipeline for a single job.
+//
+// Usage:
+//
+//	steerq compile  [-workload A] [-seed N] [-script file | -job day/idx] [-show-plan]
+//	steerq span     [-workload A] [-job day/idx]
+//	steerq search   [-workload A] [-job day/idx] [-m 200]
+//	steerq pipeline [-workload A] [-job day/idx] [-m 300] [-k 10]
+//	steerq groups   [-workload A] [-day 0] [-top 15]
+//	steerq workload [-workload A] [-day 0]
+//
+// Jobs are addressed as day/index within the deterministic generated
+// workload, e.g. -job 0/17.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"steerq/internal/abtest"
+	"steerq/internal/cascades"
+	"steerq/internal/cost"
+	"steerq/internal/rules"
+	"steerq/internal/scopeql"
+	"steerq/internal/steering"
+	"steerq/internal/workload"
+	"steerq/internal/xrand"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compile":
+		err = cmdCompile(args)
+	case "span":
+		err = cmdSpan(args)
+	case "search":
+		err = cmdSearch(args)
+	case "pipeline":
+		err = cmdPipeline(args)
+	case "groups":
+		err = cmdGroups(args)
+	case "workload":
+		err = cmdWorkload(args)
+	case "explain":
+		err = cmdExplain(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "steerq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: steerq <compile|explain|span|search|pipeline|groups|workload> [flags]
+run "steerq <command> -h" for command flags`)
+}
+
+// env bundles the common flags and lazily built objects.
+type env struct {
+	fs      *flag.FlagSet
+	name    *string
+	seed    *uint64
+	scale   *float64
+	jobRef  *string
+	script  *string
+	wl      *workload.Workload
+	harness *abtest.Harness
+}
+
+func newEnv(cmd string) *env {
+	e := &env{fs: flag.NewFlagSet(cmd, flag.ExitOnError)}
+	e.name = e.fs.String("workload", "A", "workload name (A, B or C)")
+	e.seed = e.fs.Uint64("seed", 2021, "generator seed")
+	e.scale = e.fs.Float64("scale", 0.01, "workload scale (1.0 = paper scale)")
+	e.jobRef = e.fs.String("job", "0/0", "job reference day/index")
+	e.script = e.fs.String("script", "", "path to a SCOPE-like script (overrides -job)")
+	return e
+}
+
+func (e *env) build() error {
+	var p workload.Profile
+	switch *e.name {
+	case "A":
+		p = workload.ProfileA(*e.scale, *e.seed)
+	case "B":
+		p = workload.ProfileB(*e.scale, *e.seed)
+	case "C":
+		p = workload.ProfileC(*e.scale, *e.seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *e.name)
+	}
+	e.wl = workload.Generate(p)
+	opt := rules.NewOptimizer(cost.NewEstimated(e.wl.Cat))
+	e.harness = abtest.New(e.wl.Cat, opt, *e.seed+1)
+	return nil
+}
+
+// job resolves the -script / -job flags into a compiled job.
+func (e *env) job() (*workload.Job, error) {
+	if *e.script != "" {
+		src, err := os.ReadFile(*e.script)
+		if err != nil {
+			return nil, err
+		}
+		root, err := scopeql.Compile(string(src), e.wl.Cat)
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Job{ID: *e.script, Workload: *e.name, Script: string(src), Root: root}, nil
+	}
+	parts := strings.SplitN(*e.jobRef, "/", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -job %q, want day/index", *e.jobRef)
+	}
+	day, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad day in -job: %v", err)
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad index in -job: %v", err)
+	}
+	jobs := e.wl.Day(day)
+	if idx < 0 || idx >= len(jobs) {
+		return nil, fmt.Errorf("job index %d out of range (day has %d jobs)", idx, len(jobs))
+	}
+	return jobs[idx], nil
+}
+
+func cmdCompile(args []string) error {
+	e := newEnv("compile")
+	showPlan := e.fs.Bool("show-plan", false, "print the physical plan")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	j, err := e.job()
+	if err != nil {
+		return err
+	}
+	rs := e.harness.Opt.Rules
+	res, err := e.harness.Opt.Optimize(j.Root, rs.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	m := e.harness.Executor.Run(res.Plan, j.Day, j.ID)
+	fmt.Printf("job %s (template %016x)\n", j.ID, j.TemplateHash)
+	fmt.Printf("estimated cost: %.2f\n", res.Cost)
+	fmt.Printf("simulated runtime: %.1fs cpu: %.1fs io: %.1fs vertices: %d\n",
+		m.RuntimeSec, m.CPUSec, m.IOTimeSec, m.Vertices)
+	fmt.Printf("rule signature (%d rules):\n", res.Signature.Count())
+	for _, id := range res.Signature.Ones() {
+		ri, _ := rs.Info(id)
+		fmt.Printf("  %s\n", ri)
+	}
+	if *showPlan {
+		fmt.Printf("physical plan:\n%s", res.Plan)
+	}
+	return nil
+}
+
+func cmdSpan(args []string) error {
+	e := newEnv("span")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	j, err := e.job()
+	if err != nil {
+		return err
+	}
+	span, err := steering.JobSpan(e.harness.Opt, j.Root)
+	if err != nil {
+		return err
+	}
+	rs := e.harness.Opt.Rules
+	fmt.Printf("job span of %s: %d rules\n", j.ID, span.Count())
+	byCat := steering.SpanByCategory(span, rs)
+	for cat, v := range byCat {
+		fmt.Printf("  %s:\n", cat)
+		for _, id := range v.Ones() {
+			ri, _ := rs.Info(id)
+			fmt.Printf("    %s#%d\n", ri.Name, ri.ID)
+		}
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	e := newEnv("search")
+	m := e.fs.Int("m", 200, "candidate configurations to generate")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	j, err := e.job()
+	if err != nil {
+		return err
+	}
+	span, err := steering.JobSpan(e.harness.Opt, j.Root)
+	if err != nil {
+		return err
+	}
+	rs := e.harness.Opt.Rules
+	cfgs := steering.CandidateConfigs(span, rs, *m, xrand.New(*e.seed).Derive("cli-search"))
+	def, err := e.harness.Opt.Optimize(j.Root, rs.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("span=%d rules, %d unique candidate configurations; default cost %.2f\n",
+		span.Count(), len(cfgs), def.Cost)
+	type row struct {
+		cost float64
+		diff steering.RuleDiff
+	}
+	var rows []row
+	failed := 0
+	for _, cfg := range cfgs {
+		res, err := e.harness.Opt.Optimize(j.Root, cfg)
+		if err != nil {
+			failed++
+			continue
+		}
+		rows = append(rows, row{res.Cost, steering.Diff(def.Signature, res.Signature)})
+	}
+	sort.Slice(rows, func(i, k int) bool { return rows[i].cost < rows[k].cost })
+	fmt.Printf("%d compiled, %d failed; 10 cheapest:\n", len(rows), failed)
+	for i := 0; i < 10 && i < len(rows); i++ {
+		r := rows[i]
+		fmt.Printf("  cost=%.2f  -%v +%v\n", r.cost, names(rs, r.diff.OnlyDefault), names(rs, r.diff.OnlyNew))
+	}
+	return nil
+}
+
+func cmdPipeline(args []string) error {
+	e := newEnv("pipeline")
+	m := e.fs.Int("m", 300, "candidate configurations (M)")
+	k := e.fs.Int("k", 10, "alternatives executed per job")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	j, err := e.job()
+	if err != nil {
+		return err
+	}
+	p := steering.NewPipeline(e.harness, xrand.New(*e.seed).Derive("cli-pipeline"))
+	p.MaxCandidates = *m
+	p.ExecutePerJob = *k
+	a, err := p.Analyze(j)
+	if err != nil {
+		return err
+	}
+	rs := e.harness.Opt.Rules
+	fmt.Printf("job %s: default runtime %.1fs, cost %.2f, span %d rules, %d candidates compiled\n",
+		j.ID, a.Default.Metrics.RuntimeSec, a.Default.EstCost, a.Span.Count(), len(a.Candidates))
+	for i, t := range a.Trials {
+		if t.Err != nil {
+			fmt.Printf("  alt%d: compile failed: %v\n", i, t.Err)
+			continue
+		}
+		pct := a.PercentChange(&a.Trials[i], steering.MetricRuntime)
+		d := steering.Diff(a.Default.Signature, t.Signature)
+		fmt.Printf("  alt%d: runtime %.1fs (%+.1f%%) cost %.2f  -%v +%v\n",
+			i, t.Metrics.RuntimeSec, pct, t.EstCost, names(rs, d.OnlyDefault), names(rs, d.OnlyNew))
+	}
+	best := a.BestConfig(steering.MetricRuntime)
+	fmt.Printf("best runtime: %.1fs (%+.1f%% vs default)\n",
+		best.Metrics.RuntimeSec, a.PercentChange(best, steering.MetricRuntime))
+	if rec := steering.Recommend(a, rs); rec != nil {
+		fmt.Printf("recommended plan hint for job group %s...:\n%s",
+			rec.GroupSignature[:16], rec.Hints)
+	}
+	return nil
+}
+
+func cmdGroups(args []string) error {
+	e := newEnv("groups")
+	day := e.fs.Int("day", 0, "day to group")
+	top := e.fs.Int("top", 15, "groups to print")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	jobs := e.wl.Day(*day)
+	g := steering.NewGrouper(e.harness)
+	groups, err := g.Group(jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s day %d: %d jobs in %d rule-signature job groups\n",
+		*e.name, *day, len(jobs), len(groups))
+	rs := e.harness.Opt.Rules
+	for i, grp := range groups {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  group %2d: %4d jobs, signature %d rules: %v\n",
+			i+1, len(grp.Jobs), grp.Signature.Count(), names(rs, grp.Signature.Ones()))
+	}
+	return nil
+}
+
+func cmdWorkload(args []string) error {
+	e := newEnv("workload")
+	day := e.fs.Int("day", 0, "day to describe")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	jobs := e.wl.Day(*day)
+	st := workload.DayStats(jobs)
+	fmt.Printf("workload %s day %d: %d jobs, %d unique templates, %d unique input sets\n",
+		*e.name, *day, st.Jobs, st.UniqueTemplates, st.UniqueInputs)
+	fmt.Printf("catalog: %d streams\n", len(e.wl.Cat.StreamNames()))
+	shapes := make(map[string]int)
+	for _, j := range jobs {
+		shapes[e.wl.Templates[j.Template].Shape]++
+	}
+	var keys []string
+	for k := range shapes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  shape %-14s %4d jobs\n", k, shapes[k])
+	}
+	return nil
+}
+
+// names maps rule IDs to rule names for display.
+func names(rs *cascades.RuleSet, ids []int) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if ri, ok := rs.Info(id); ok {
+			out = append(out, ri.Name)
+		} else {
+			out = append(out, fmt.Sprintf("rule#%d", id))
+		}
+	}
+	return out
+}
+
+// cmdExplain compiles a job under the default configuration (or hints from
+// -hints) and prints the per-operator planned-vs-actual breakdown.
+func cmdExplain(args []string) error {
+	e := newEnv("explain")
+	hintsPath := e.fs.String("hints", "", "path to a plan-hint file to apply")
+	e.fs.Parse(args)
+	if err := e.build(); err != nil {
+		return err
+	}
+	j, err := e.job()
+	if err != nil {
+		return err
+	}
+	rs := e.harness.Opt.Rules
+	cfg := rs.DefaultConfig()
+	if *hintsPath != "" {
+		text, err := os.ReadFile(*hintsPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = steering.ParseHints(string(text), rs)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := e.harness.Opt.Optimize(j.Root, cfg)
+	if err != nil {
+		return err
+	}
+	rep := e.harness.Executor.Explain(res.Plan, j.Day, j.ID)
+	rep.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,107 @@
+// Learned: §7 end to end. Pick a rule-signature job group of Workload B
+// where no single configuration always wins, discover candidate arms with the
+// pipeline, collect per-arm runtimes across two weeks of jobs, train the
+// one-hidden-layer model with the BCE-on-normalized-runtimes loss, and
+// evaluate the learned policy against the default and the oracle on held-out
+// jobs.
+//
+// Run with:
+//
+//	go run ./examples/learned
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"steerq/internal/abtest"
+	"steerq/internal/cost"
+	"steerq/internal/learning"
+	"steerq/internal/rules"
+	"steerq/internal/steering"
+	"steerq/internal/workload"
+	"steerq/internal/xrand"
+)
+
+func main() {
+	const days = 14
+	w := workload.Generate(workload.ProfileB(0.004, 2021))
+	opt := rules.NewOptimizer(cost.NewEstimated(w.Cat))
+	h := abtest.New(w.Cat, opt, 7)
+
+	var corpus []*workload.Job
+	for d := 0; d < days; d++ {
+		corpus = append(corpus, w.Day(d)...)
+	}
+	grouper := steering.NewGrouper(h)
+	groups, err := grouper.Group(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Choose a sizable group of jobs worth optimizing.
+	var group *steering.JobGroup
+	for _, g := range groups {
+		if len(g.Jobs) < 40 {
+			continue
+		}
+		// Probe a member for runtime.
+		t := h.RunConfig(g.Jobs[0].Root, opt.Rules.DefaultConfig(), g.Jobs[0].Day, g.Jobs[0].ID+"/probe")
+		if t.Err == nil && t.Metrics.RuntimeSec > 30 {
+			group = g
+			break
+		}
+	}
+	if group == nil {
+		log.Fatal("no suitable job group at this scale; raise the scale or change the seed")
+	}
+	fmt.Printf("job group: %d jobs over %d days share one default rule signature\n",
+		len(group.Jobs), days)
+
+	// Discover the group's candidate arms on a few base jobs.
+	p := steering.NewPipeline(h, xrand.New(13))
+	p.MaxCandidates = 200
+	arms, err := learning.CandidateArms(p, group.Jobs, 3, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("candidate arms: %d configurations (arm 0 = default)\n", len(arms))
+
+	// Collect the dataset: every arm executed for every job.
+	ds := learning.Collect(h, group.Signature, group.Jobs, arms)
+	fmt.Printf("dataset: %d jobs x %d arms\n", len(ds.Examples), len(arms))
+
+	split := learning.NewSplit(len(ds.Examples), xrand.New(17))
+	fmt.Printf("split: %d train / %d val / %d test (the paper's 40/20/40)\n",
+		len(split.Train), len(split.Val), len(split.Test))
+
+	model := learning.Train(ds, split, learning.DefaultTrainOptions(), xrand.New(19))
+	ev := learning.Evaluate(model, ds, split.Test)
+
+	fmt.Println("\nper-test-job outcome (negative = learned beats default):")
+	improved, regressed := 0, 0
+	for _, o := range ev.PerJob {
+		pct := 0.0
+		if o.Default > 0 {
+			pct = 100 * (o.Learned - o.Default) / o.Default
+		}
+		switch {
+		case pct < -1:
+			improved++
+		case pct > 1:
+			regressed++
+		}
+		fmt.Printf("  %-14s arm=%d default=%7.1fs learned=%7.1fs best=%7.1fs (%+6.1f%%)\n",
+			o.Job.ID, o.Arm, o.Default, o.Learned, o.Best, pct)
+	}
+
+	sum := func(get func(learning.JobOutcome) float64) learning.Summary { return ev.Summarize(get) }
+	best := sum(func(o learning.JobOutcome) float64 { return o.Best })
+	def := sum(func(o learning.JobOutcome) float64 { return o.Default })
+	lrn := sum(func(o learning.JobOutcome) float64 { return o.Learned })
+	fmt.Printf("\n%-9s %9s %9s %9s\n", "", "Mean", "90P", "99P")
+	fmt.Printf("%-9s %9.1f %9.1f %9.1f\n", "Best", best.Mean, best.P90, best.P99)
+	fmt.Printf("%-9s %9.1f %9.1f %9.1f\n", "Default", def.Mean, def.P90, def.P99)
+	fmt.Printf("%-9s %9.1f %9.1f %9.1f\n", "Learned", lrn.Mean, lrn.P90, lrn.P99)
+	fmt.Printf("\n%d improved, %d regressed of %d test jobs\n", improved, regressed, len(ev.PerJob))
+}

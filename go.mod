@@ -1,0 +1,3 @@
+module steerq
+
+go 1.22

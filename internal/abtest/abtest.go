@@ -1,0 +1,71 @@
+// Package abtest models SCOPE's A/B testing infrastructure (§3.1.3): it
+// re-executes recent production jobs — the original plan and alternative
+// plans compiled under different rule configurations — on the pre-production
+// cluster with outputs redirected and a pinned resource budget (50 tokens per
+// job), so metric differences are attributable to the plans.
+package abtest
+
+import (
+	"fmt"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/cascades"
+	"steerq/internal/catalog"
+	"steerq/internal/exec"
+	"steerq/internal/plan"
+)
+
+// Trial is the outcome of executing one (job, configuration) pair.
+type Trial struct {
+	Config    bitvec.Vector
+	Signature bitvec.Vector
+	EstCost   float64
+	Metrics   exec.Metrics
+	// Err is non-nil when the job failed to compile under Config.
+	Err error
+}
+
+// Harness re-executes plans with pinned resources.
+type Harness struct {
+	Cat      *catalog.Catalog
+	Opt      *cascades.Optimizer
+	Executor *exec.Executor
+}
+
+// New builds a harness; the executor is configured with the standard
+// 50-token budget.
+func New(cat *catalog.Catalog, opt *cascades.Optimizer, seed uint64) *Harness {
+	ex := exec.New(cat, seed)
+	ex.Tokens = 50
+	return &Harness{Cat: cat, Opt: opt, Executor: ex}
+}
+
+// RunConfig compiles the job's logical plan under cfg and executes it for the
+// given day. jobTag must uniquely identify the job instance so repeated
+// executions of one plan see consistent cluster noise while different jobs
+// see independent noise.
+func (h *Harness) RunConfig(root *plan.Node, cfg bitvec.Vector, day int, jobTag string) Trial {
+	res, err := h.Opt.Optimize(root, cfg)
+	if err != nil {
+		return Trial{Config: cfg, Err: err}
+	}
+	m := h.Executor.Run(res.Plan, day, jobTag)
+	return Trial{
+		Config:    cfg,
+		Signature: res.Signature,
+		EstCost:   res.Cost,
+		Metrics:   m,
+	}
+}
+
+// RunConfigs executes the job under every configuration, returning trials in
+// input order. Compile failures are recorded, not fatal: many candidate
+// configurations legitimately do not compile (§4).
+func (h *Harness) RunConfigs(root *plan.Node, cfgs []bitvec.Vector, day int, jobTag string) []Trial {
+	out := make([]Trial, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		t := h.RunConfig(root, cfg, day, fmt.Sprintf("%s/cfg%d", jobTag, i))
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomVector makes bitvec.Vector usable with testing/quick.
+func randomVector(r *rand.Rand) Vector {
+	var v Vector
+	n := r.Intn(Width)
+	for i := 0; i < n; i++ {
+		v.Set(r.Intn(Width))
+	}
+	return v
+}
+
+// Generate implements quick.Generator.
+func (Vector) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomVector(r))
+}
+
+func TestSetClearGet(t *testing.T) {
+	var v Vector
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 255} {
+		if v.Get(i) {
+			t.Errorf("bit %d set in zero vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	var v Vector
+	v.Assign(42, true)
+	if !v.Get(42) {
+		t.Fatal("Assign(42, true) did not set")
+	}
+	v.Assign(42, false)
+	if v.Get(42) {
+		t.Fatal("Assign(42, false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, Width, Width + 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			var v Vector
+			v.Get(i)
+		}()
+	}
+}
+
+func TestAllSet(t *testing.T) {
+	v := AllSet(100)
+	if v.Count() != 100 {
+		t.Fatalf("AllSet(100).Count() = %d", v.Count())
+	}
+	if !v.Get(99) || v.Get(100) {
+		t.Fatal("AllSet boundary wrong")
+	}
+	if AllSet(0).Count() != 0 {
+		t.Fatal("AllSet(0) not empty")
+	}
+	if AllSet(Width).Count() != Width {
+		t.Fatal("AllSet(Width) incomplete")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := New(3, 64, 200, 5)
+	want := []int{3, 5, 64, 200}
+	if got := v.Ones(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ones() = %v, want %v", got, want)
+	}
+}
+
+func TestCountMatchesOnes(t *testing.T) {
+	f := func(v Vector) bool { return v.Count() == len(v.Ones()) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	// a \ b == a AND (a XOR b's intersection-complement): check AndNot
+	// against definition.
+	f := func(a, b Vector) bool {
+		d := a.AndNot(b)
+		for i := 0; i < Width; i++ {
+			if d.Get(i) != (a.Get(i) && !b.Get(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorSymmetricDifference(t *testing.T) {
+	f := func(a, b Vector) bool {
+		x := a.Xor(b)
+		return x.Equal(a.AndNot(b).Or(b.AndNot(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionIntersectionLaws(t *testing.T) {
+	f := func(a, b Vector) bool {
+		u := a.Or(b)
+		i := a.And(b)
+		// |A| + |B| == |A∪B| + |A∩B|
+		if a.Count()+b.Count() != u.Count()+i.Count() {
+			return false
+		}
+		// A ⊆ A∪B and A∩B ⊆ A
+		return u.Contains(a) && u.Contains(b) && a.Contains(i) && b.Contains(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsReflexive(t *testing.T) {
+	f := func(a Vector) bool { return a.Contains(a) && a.Contains(Vector{}) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(a Vector) bool {
+		got, err := ParseHex(a.Hex())
+		return err == nil && got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHexErrors(t *testing.T) {
+	if _, err := ParseHex("zz"); err == nil {
+		t.Error("ParseHex accepted non-hex input")
+	}
+	if _, err := ParseHex("abcd"); err == nil {
+		t.Error("ParseHex accepted short input")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(a Vector) bool { return FromKey(a.Key()).Equal(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyEqualityMatchesEqual(t *testing.T) {
+	f := func(a, b Vector) bool { return (a.Key() == b.Key()) == a.Equal(b) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashConsistent(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(3, 2, 1)
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal vectors hash differently")
+	}
+	if a.Hash() == New(1, 2, 4).Hash() {
+		t.Log("hash collision between close vectors (allowed but unexpected)")
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	var v Vector
+	if !v.IsEmpty() {
+		t.Fatal("zero vector not empty")
+	}
+	v.Set(255)
+	if v.IsEmpty() {
+		t.Fatal("vector with bit 255 reported empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 17).String(); got != "{3, 17}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Vector{}).String(); got != "{}" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}

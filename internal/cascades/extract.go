@@ -1,0 +1,76 @@
+package cascades
+
+import (
+	"steerq/internal/bitvec"
+	"steerq/internal/plan"
+)
+
+// extract materializes the winning pexpr tree into a plan.PhysNode DAG and
+// collects the rule signature: every implementation and enforcer rule that
+// produced an operator in the plan plus every transformation rule on the
+// derivation chain of the logical expressions those operators implement.
+func (s *search) extract(w *winner) (*plan.PhysNode, bitvec.Vector) {
+	var sig bitvec.Vector
+	built := make(map[*pexpr]*plan.PhysNode)
+	var rec func(p *pexpr) *plan.PhysNode
+	rec = func(p *pexpr) *plan.PhysNode {
+		if n, ok := built[p]; ok {
+			return n
+		}
+		if p.ruleID >= 0 {
+			sig.Set(p.ruleID)
+		}
+		if p.lexpr != nil {
+			for _, id := range p.lexpr.Provenance {
+				if id >= 0 {
+					sig.Set(id)
+				}
+			}
+		}
+		n := &plan.PhysNode{
+			Op:       p.op,
+			Schema:   p.node.Schema,
+			Dist:     p.outDist,
+			EstRows:  p.rows,
+			EstCost:  p.usage.LatencySeconds,
+			RuleID:   p.ruleID,
+			Exchange: p.exchange,
+		}
+		if p.lexpr != nil {
+			// The canonical schema of the implemented group, not the
+			// payload's (join commutes may reorder payload columns).
+			n.Schema = p.lexpr.Group.Schema
+		}
+		copyPayload(n, p.node)
+		built[p] = n
+		n.Children = make([]*plan.PhysNode, len(p.children))
+		for i, c := range p.children {
+			n.Children[i] = rec(c)
+		}
+		n.TotalCost = n.EstCost
+		seen := make(map[*plan.PhysNode]bool)
+		for _, c := range n.Children {
+			if !seen[c] {
+				n.TotalCost += c.TotalCost
+				seen[c] = true
+			}
+		}
+		return n
+	}
+	root := rec(w)
+	root.TotalCost = w.total
+	return root, sig
+}
+
+func copyPayload(dst *plan.PhysNode, src *plan.Node) {
+	dst.Table = src.Table
+	dst.Pred = src.Pred
+	dst.Projs = src.Projs
+	dst.GroupKeys = src.GroupKeys
+	dst.Aggs = src.Aggs
+	dst.Processor = src.Processor
+	dst.ReduceKeys = src.ReduceKeys
+	dst.TopN = src.TopN
+	dst.SortKeys = src.SortKeys
+	dst.OutputPath = src.OutputPath
+}

@@ -1,0 +1,404 @@
+package cascades
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"steerq/internal/cost"
+	"steerq/internal/plan"
+)
+
+// pexpr is a costed physical sub-plan candidate. Children are fully resolved
+// pexprs (the winners chosen for the child groups under this candidate's
+// requirements), so extraction is a simple walk.
+type pexpr struct {
+	op       plan.PhysOp
+	node     *plan.Node // payload
+	children []*pexpr
+	lexpr    *MExpr // implemented logical expression (nil for enforcers)
+	ruleID   int
+	outDist  plan.Distribution
+	dop      int
+	// props are the candidate's own estimated statistics, derived from its
+	// expression tree (not the group's canonical statistics) — see
+	// Memo.DerivePropsFrom.
+	props    cost.Props
+	rows     float64
+	rowBytes float64
+	usage    cost.OpUsage // local usage
+	total    float64      // cumulative estimated latency cost
+	exchange plan.ExchangeKind
+	buildIdx int
+}
+
+// winner is the cached best plan of a group for one requirement.
+type winner = pexpr
+
+func distKey(d plan.Distribution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d:", d.Kind, d.DOP)
+	for _, k := range d.Keys {
+		fmt.Fprintf(&b, "%d,", k)
+	}
+	return b.String()
+}
+
+// optimizeGroup returns the cheapest physical plan for g delivering a
+// distribution satisfying req, or nil when none exists.
+func (s *search) optimizeGroup(g *Group, req plan.Distribution) *winner {
+	key := distKey(req)
+	if w, ok := g.winners[key]; ok {
+		return w
+	}
+	// Mark in-progress to make accidental cycles fail loudly rather than
+	// recurse forever (logical DAGs are acyclic, so this never triggers on
+	// well-formed input).
+	g.winners[key] = nil
+
+	var best *pexpr
+	consider := func(p *pexpr) {
+		if p == nil {
+			return
+		}
+		if best == nil || p.total < best.total {
+			best = p
+		}
+	}
+	for _, cand := range s.groupCandidates(g) {
+		if cand.outDist.Satisfies(req) {
+			consider(cand)
+		} else {
+			consider(s.enforce(cand, req))
+		}
+	}
+	g.winners[key] = best
+	return best
+}
+
+// groupCandidates enumerates (and caches) all physical implementation
+// candidates of a group, each fully costed with child winners resolved.
+func (s *search) groupCandidates(g *Group) []*pexpr {
+	if c, ok := s.candidates[g]; ok {
+		return c
+	}
+	s.candidates[g] = nil // cycle guard
+	var out []*pexpr
+	for _, e := range g.Exprs {
+		for _, r := range s.o.Rules.Implements {
+			ri := r.Info()
+			if !s.o.Rules.enabled(ri, s.cfg) {
+				continue
+			}
+			for _, proto := range r.Implement(e, s.m) {
+				if p := s.buildCandidate(e, proto, ri.ID); p != nil {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	s.candidates[g] = out
+	return out
+}
+
+// buildCandidate resolves child requirements and costs one implementation
+// candidate. Returns nil when a child has no feasible plan.
+func (s *search) buildCandidate(e *MExpr, proto *PhysProto, ruleID int) *pexpr {
+	g := e.Group
+	children := make([]*pexpr, len(e.Children))
+	var childTotal float64
+	for i, cg := range e.Children {
+		req := plan.Distribution{Kind: plan.DistAny}
+		if i < len(proto.ChildReq) {
+			req = proto.ChildReq[i]
+		}
+		if req.Kind == plan.DistBroadcast && i > 0 && children[0] != nil {
+			// Broadcast replicates to every consumer partition: the
+			// replication factor is the probe side's parallelism.
+			req.DOP = children[0].dop
+		}
+		var w *pexpr
+		if i == 0 && proto.LocalPre != 0 {
+			// Two-phase implementation: run a local pre-operator on the
+			// child's unconstrained plan, then enforce the requirement on
+			// the (much smaller) pre-aggregated stream.
+			base := s.optimizeGroup(cg, plan.Distribution{Kind: plan.DistAny})
+			if base == nil {
+				return nil
+			}
+			w = s.wrapLocalPre(base, proto, e, ruleID)
+			if !w.outDist.Satisfies(req) {
+				w = s.enforce(w, req)
+			}
+		} else {
+			w = s.optimizeGroup(cg, req)
+		}
+		if w == nil {
+			return nil
+		}
+		if proto.NeedsSort {
+			w = s.wrapSort(w, cg)
+		}
+		children[i] = w
+		childTotal += w.total
+	}
+
+	childProps := make([]cost.Props, len(children))
+	childSchemas := make([][]plan.Column, len(e.Children))
+	for i := range children {
+		childProps[i] = children[i].props
+		childSchemas[i] = e.Children[i].Schema
+	}
+	props := s.m.DerivePropsFrom(proto.Node, childProps, childSchemas, g.Schema)
+	p := &pexpr{
+		op:       proto.Op,
+		node:     proto.Node,
+		children: children,
+		lexpr:    e,
+		ruleID:   ruleID,
+		props:    props,
+		rows:     props.Rows,
+		rowBytes: props.RowBytes,
+		buildIdx: proto.BuildIdx,
+	}
+	p.dop = s.chooseOpDOP(p)
+	p.outDist = s.deliveredDist(proto, p)
+	p.usage = s.localUsage(p)
+	p.total = childTotal + p.usage.LatencySeconds
+	return p
+}
+
+// chooseOpDOP derives the operator's degree of parallelism. Parallelism is
+// decided where data lands — scans and exchanges — and *inherited* everywhere
+// else: an operator consuming partitions in place cannot change their count
+// without an exchange. Since scans and exchanges size their partitions from
+// estimated bytes (cost.ChooseDOP), every estimation error propagates into a
+// mis-fit degree of parallelism exactly as §5.3 describes.
+func (s *search) chooseOpDOP(p *pexpr) int {
+	switch p.op {
+	case plan.PhysExtract, plan.PhysRangeScan:
+		// Scan parallelism follows the stored stream's partitioning, not
+		// the (possibly tiny) filtered output.
+		rows, bytes := s.scanInput(p)
+		return cost.ChooseDOP(rows, bytes, s.maxDOP())
+	case plan.PhysGlobalTop, plan.PhysMultiImpl:
+		return 1
+	case plan.PhysVirtualDataset:
+		// Virtual union keeps every branch's partitions in place.
+		d := 0
+		for _, c := range p.children {
+			d += c.dop
+		}
+		if d < 1 {
+			d = 1
+		}
+		return d
+	case plan.PhysUnionMerge:
+		return cost.ChooseDOP(p.rows, p.rowBytes, s.maxDOP())
+	case plan.PhysHashJoin, plan.PhysMergeJoin:
+		// Both sides were re-partitioned to matching hash layouts.
+		d := 1
+		for _, c := range p.children {
+			if c.dop > d {
+				d = c.dop
+			}
+		}
+		return d
+	case plan.PhysHashJoinAlt, plan.PhysLoopJoin:
+		// Probe side layout preserved; build side broadcast.
+		if len(p.children) > 0 {
+			return maxInt(p.children[0].dop, 1)
+		}
+		return 1
+	}
+	// Everything else consumes its (first) child's partitions in place.
+	if len(p.children) > 0 {
+		return maxInt(p.children[0].dop, 1)
+	}
+	return 1
+}
+
+func (s *search) maxDOP() int {
+	if s.o.MaxDOP > 0 {
+		return s.o.MaxDOP
+	}
+	return 50
+}
+
+// deliveredDist resolves the candidate's output distribution; a proto OutDist
+// of DistAny means "inherit from the first child".
+func (s *search) deliveredDist(proto *PhysProto, p *pexpr) plan.Distribution {
+	d := proto.OutDist
+	if d.Kind == plan.DistAny {
+		if len(p.children) > 0 {
+			d = p.children[0].outDist
+		} else {
+			d = plan.Distribution{Kind: plan.DistRandom}
+		}
+	}
+	d.DOP = p.dop
+	return d
+}
+
+// scanInput returns the estimated size of the stream a scan reads.
+func (s *search) scanInput(p *pexpr) (rows, bytes float64) {
+	if st := s.o.Est.Cat.Stream(p.node.Table); st != nil {
+		return st.BaseRows, st.BaseRows * st.BytesPerRow
+	}
+	return p.rows, p.rows * p.rowBytes
+}
+
+// localUsage costs the candidate's own operator.
+func (s *search) localUsage(p *pexpr) cost.OpUsage {
+	var inRows, inBytes float64
+	for _, c := range p.children {
+		inRows += c.rows
+		inBytes += c.rows * c.rowBytes
+	}
+	if p.op == plan.PhysExtract || p.op == plan.PhysRangeScan {
+		inRows, inBytes = s.scanInput(p)
+	}
+	params := cost.OpCostParams{
+		Op:       p.op,
+		Exchange: p.exchange,
+		InRows:   inRows,
+		InBytes:  inBytes,
+		OutRows:  p.rows,
+		OutBytes: p.rows * p.rowBytes,
+		DOP:      p.dop,
+		Branches: len(p.children),
+	}
+	if p.node != nil {
+		params.TopN = p.node.TopN
+		if p.node.Processor != "" {
+			params.UDO = s.o.Est.Cat.UDO(p.node.Processor)
+		}
+	}
+	if len(p.children) == 2 && (p.op == plan.PhysHashJoin || p.op == plan.PhysHashJoinAlt || p.op == plan.PhysMergeJoin || p.op == plan.PhysLoopJoin) {
+		b := p.buildIdx
+		if b < 0 || b > 1 {
+			b = 1
+		}
+		params.BuildRows = p.children[b].rows
+		params.ProbeRows = p.children[1-b].rows
+	}
+	return s.o.Coster.Cost(params)
+}
+
+// enforce wraps a candidate with an Exchange enforcer so it satisfies req.
+func (s *search) enforce(inner *pexpr, req plan.Distribution) *pexpr {
+	var kind plan.ExchangeKind
+	dop := 0
+	switch req.Kind {
+	case plan.DistHash, plan.DistRandom:
+		kind = plan.ExchangeShuffle
+		dop = cost.ChooseDOP(inner.rows, inner.rowBytes, s.maxDOP())
+	case plan.DistSingleton:
+		kind = plan.ExchangeGather
+		dop = 1
+	case plan.DistBroadcast:
+		kind = plan.ExchangeBroadcast
+		if req.DOP > 0 {
+			dop = req.DOP
+		} else {
+			dop = cost.ChooseDOP(inner.rows, inner.rowBytes, s.maxDOP())
+		}
+	default:
+		return inner
+	}
+	ex := &pexpr{
+		op:       plan.PhysExchange,
+		node:     &plan.Node{Op: plan.OpSelect, Schema: inner.node.Schema}, // payload placeholder
+		children: []*pexpr{inner},
+		ruleID:   s.o.EnforceExchangeID,
+		props:    inner.props,
+		rows:     inner.rows,
+		rowBytes: inner.rowBytes,
+		exchange: kind,
+		dop:      dop,
+		buildIdx: -1,
+	}
+	ex.outDist = plan.Distribution{Kind: req.Kind, Keys: req.Keys, DOP: dop}
+	ex.usage = s.localUsage(ex)
+	ex.total = inner.total + ex.usage.LatencySeconds
+	return ex
+}
+
+// wrapLocalPre inserts the local phase of a two-phase operator above a child
+// plan: per-partition pre-aggregation or per-partition top-N.
+func (s *search) wrapLocalPre(inner *pexpr, proto *PhysProto, e *MExpr, ruleID int) *pexpr {
+	outRows := inner.rows
+	switch proto.LocalPre {
+	case plan.PhysPartialHashAgg:
+		// Each partition holds at most one row per output group, estimated
+		// from this candidate's own child statistics.
+		final := s.m.DerivePropsFrom(proto.Node, []cost.Props{inner.props},
+			[][]plan.Column{e.Children[0].Schema}, e.Group.Schema)
+		outRows = minFloat(inner.rows, final.Rows*float64(maxInt(inner.dop, 1)))
+	case plan.PhysLocalTop:
+		outRows = minFloat(inner.rows, float64(proto.Node.TopN*maxInt(inner.dop, 1)))
+	}
+	preProps := inner.props.Clone()
+	preProps.Rows = maxFloat(1, outRows)
+	pre := &pexpr{
+		op:       proto.LocalPre,
+		node:     proto.Node,
+		children: []*pexpr{inner},
+		lexpr:    e,
+		ruleID:   ruleID,
+		props:    preProps,
+		rows:     preProps.Rows,
+		rowBytes: inner.rowBytes,
+		outDist:  inner.outDist,
+		dop:      inner.dop,
+		buildIdx: -1,
+	}
+	pre.usage = s.localUsage(pre)
+	pre.total = inner.total + pre.usage.LatencySeconds
+	return pre
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// wrapSort inserts a Sort enforcer above a child winner (merge join, stream
+// aggregation).
+func (s *search) wrapSort(inner *pexpr, g *Group) *pexpr {
+	srt := &pexpr{
+		op:       plan.PhysSort,
+		node:     &plan.Node{Op: plan.OpSelect, Schema: g.Schema},
+		children: []*pexpr{inner},
+		ruleID:   s.o.EnforceSortID,
+		props:    inner.props,
+		rows:     inner.rows,
+		rowBytes: inner.rowBytes,
+		outDist:  inner.outDist,
+		dop:      inner.dop,
+		buildIdx: -1,
+	}
+	srt.usage = s.localUsage(srt)
+	srt.total = inner.total + srt.usage.LatencySeconds
+	return srt
+}
+
+// SortedKeys returns column IDs sorted ascending (canonical form for hash
+// distribution requirements).
+func SortedKeys(cols []plan.Column) []plan.ColumnID {
+	ids := make([]plan.ColumnID, len(cols))
+	for i, c := range cols {
+		ids[i] = c.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}

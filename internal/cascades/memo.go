@@ -1,0 +1,371 @@
+// Package cascades implements a memo-based, top-down Cascades-style query
+// optimizer in the style of Graefe's framework, which the SCOPE optimizer
+// follows (§3.1): transformation rules expand the logical search space inside
+// a memo of equivalence groups, implementation rules produce physical
+// operators, enforcer rules (EnforceExchange) satisfy distribution
+// requirements, and the cheapest physical alternative per group wins.
+//
+// Unlike a textbook implementation, the engine tracks *which rule produced
+// every expression*. The union of rule IDs along the derivation chain of the
+// final plan is the job's rule signature (Definition 3.2 of the paper), the
+// central abstraction of steerq.
+package cascades
+
+import (
+	"fmt"
+	"strings"
+
+	"steerq/internal/cost"
+	"steerq/internal/plan"
+)
+
+// GroupID identifies a memo group.
+type GroupID int
+
+// MExpr is a logical multi-expression: an operator payload plus child group
+// references.
+type MExpr struct {
+	// Node carries the operator payload (Op plus per-op fields). Its
+	// Children field is unused; children live in the Children group list.
+	Node     *plan.Node
+	Children []*Group
+	Group    *Group
+
+	// RuleID is the rule that created this expression, or -1 for
+	// expressions of the initial plan.
+	RuleID int
+
+	// Provenance lists the rule IDs on the derivation chain from the
+	// initial plan to this expression (including RuleID). These rules
+	// "directly contribute" to any final plan using this expression.
+	Provenance []int
+
+	fired map[int]bool // transformation rules already applied to this expr
+}
+
+func (e *MExpr) firedRule(id int) bool { return e.fired[id] }
+
+func (e *MExpr) markFired(id int) {
+	if e.fired == nil {
+		e.fired = make(map[int]bool)
+	}
+	e.fired[id] = true
+}
+
+// Group is an equivalence class of logical expressions producing the same
+// result set.
+type Group struct {
+	ID     GroupID
+	Exprs  []*MExpr
+	Schema []plan.Column // canonical output columns
+	Props  cost.Props    // estimated statistics (derived from first expr)
+
+	// winners caches the best physical alternative per required
+	// distribution.
+	winners map[string]*winner
+}
+
+// Memo is the space of explored plans.
+type Memo struct {
+	Groups []*Group
+	// Root is the group of the job's root operator.
+	Root *Group
+
+	est     *cost.Estimator
+	index   map[string]*Group // structural interning of expressions
+	byNode  map[*plan.Node]*Group
+	nextCol plan.ColumnID
+
+	// ExprLimit bounds expressions per group; TotalLimit bounds the whole
+	// memo. Exceeding either stops further exploration (big-data jobs have
+	// hundreds of operators; SCOPE bounds its search the same way).
+	ExprLimit  int
+	TotalLimit int
+	totalExprs int
+}
+
+// NewMemo builds a memo over the logical plan DAG rooted at root, deriving
+// group properties with the given estimator.
+func NewMemo(root *plan.Node, est *cost.Estimator) *Memo {
+	m := &Memo{
+		est:        est,
+		index:      make(map[string]*Group),
+		byNode:     make(map[*plan.Node]*Group),
+		ExprLimit:  10,
+		TotalLimit: 2048,
+	}
+	maxID := plan.ColumnID(0)
+	root.Walk(func(n *plan.Node) {
+		for _, c := range n.Schema {
+			if c.ID > maxID {
+				maxID = c.ID
+			}
+		}
+	})
+	m.nextCol = maxID
+	m.Root = m.groupForNode(root)
+	return m
+}
+
+// Estimator returns the estimator used to derive group properties. Rules may
+// use it for guard conditions (e.g. conjunct ordering by estimated
+// selectivity).
+func (m *Memo) Estimator() *cost.Estimator { return m.est }
+
+// NewColID allocates a fresh column ID for rule-created columns (e.g.
+// partial-aggregation outputs).
+func (m *Memo) NewColID() plan.ColumnID {
+	m.nextCol++
+	return m.nextCol
+}
+
+// groupForNode interns the logical DAG bottom-up, preserving sharing: a
+// *plan.Node consumed by several parents maps to one group.
+func (m *Memo) groupForNode(n *plan.Node) *Group {
+	if g, ok := m.byNode[n]; ok {
+		return g
+	}
+	children := make([]*Group, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = m.groupForNode(c)
+	}
+	payload := shallow(n)
+	key := exprKey(payload, children)
+	if g, ok := m.index[key]; ok {
+		m.byNode[n] = g
+		return g
+	}
+	g := &Group{ID: GroupID(len(m.Groups)), Schema: n.Schema, winners: make(map[string]*winner)}
+	e := &MExpr{Node: payload, Children: children, Group: g, RuleID: -1}
+	g.Exprs = []*MExpr{e}
+	g.Props = m.deriveProps(e)
+	m.Groups = append(m.Groups, g)
+	m.index[key] = g
+	m.byNode[n] = g
+	m.totalExprs++
+	return g
+}
+
+// shallow copies a node payload without children.
+func shallow(n *plan.Node) *plan.Node {
+	cp := *n
+	cp.Children = nil
+	return &cp
+}
+
+// Full reports whether the memo's exploration budget is exhausted.
+func (m *Memo) Full() bool { return m.totalExprs >= m.TotalLimit }
+
+// RNode describes a rule's output: a new operator payload over children that
+// are either existing groups or further new sub-expressions.
+type RNode struct {
+	Node     *plan.Node // payload; Children unused
+	Children []RChild
+}
+
+// RChild is one child of an RNode: exactly one of Group and Sub is set.
+type RChild struct {
+	Group *Group
+	Sub   *RNode
+}
+
+// GroupChild wraps an existing group as a rule-output child.
+func GroupChild(g *Group) RChild { return RChild{Group: g} }
+
+// SubChild wraps a new sub-expression as a rule-output child.
+func SubChild(r *RNode) RChild { return RChild{Sub: r} }
+
+// Intern inserts a rule result into the memo. The root expression joins
+// target (the group of the matched expression); sub-expressions are interned
+// into existing structurally identical groups or fresh ones. from is the
+// matched expression (for provenance); ruleID identifies the applying rule.
+// It returns true if any new expression was added.
+func (m *Memo) Intern(rn *RNode, target *Group, from *MExpr, ruleID int) bool {
+	if m.Full() {
+		return false
+	}
+	prov := appendProv(from.Provenance, ruleID)
+	_, added := m.intern(rn, target, prov, ruleID)
+	return added
+}
+
+func appendProv(base []int, ruleID int) []int {
+	out := make([]int, 0, len(base)+1)
+	out = append(out, base...)
+	for _, id := range out {
+		if id == ruleID {
+			return out
+		}
+	}
+	return append(out, ruleID)
+}
+
+func (m *Memo) intern(rn *RNode, target *Group, prov []int, ruleID int) (*Group, bool) {
+	added := false
+	children := make([]*Group, len(rn.Children))
+	for i, c := range rn.Children {
+		if c.Group != nil {
+			children[i] = c.Group
+			continue
+		}
+		g, subAdded := m.intern(c.Sub, nil, prov, ruleID)
+		children[i] = g
+		added = added || subAdded
+	}
+	key := exprKey(rn.Node, children)
+	if g, ok := m.index[key]; ok {
+		// Expression already known. If it is known in a different group
+		// than the target, the two groups are semantically equal but we
+		// do not merge groups (a standard simplification); the duplicate
+		// is dropped.
+		return g, added
+	}
+	g := target
+	if g == nil {
+		g = &Group{ID: GroupID(len(m.Groups)), Schema: rn.Node.Schema, winners: make(map[string]*winner)}
+		m.Groups = append(m.Groups, g)
+	}
+	if len(g.Exprs) >= m.ExprLimit && target != nil {
+		return g, added
+	}
+	e := &MExpr{Node: rn.Node, Children: children, Group: g, RuleID: ruleID, Provenance: prov}
+	g.Exprs = append(g.Exprs, e)
+	m.index[key] = g
+	m.totalExprs++
+	if target == nil {
+		g.Props = m.deriveProps(e)
+	}
+	return g, true
+}
+
+// exprKey builds the structural interning key of an expression: operator,
+// payload (with column IDs and literal values), and child group IDs.
+func exprKey(n *plan.Node, children []*Group) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", n.Op)
+	switch n.Op {
+	case plan.OpGet:
+		b.WriteString(n.Table)
+		keyExpr(&b, n.Pred)
+	case plan.OpSelect, plan.OpJoin:
+		keyExpr(&b, n.Pred)
+	case plan.OpProject:
+		for _, p := range n.Projs {
+			fmt.Fprintf(&b, "p%d=", p.Out.ID)
+			keyExpr(&b, p.Expr)
+		}
+	case plan.OpGroupBy:
+		for _, k := range n.GroupKeys {
+			fmt.Fprintf(&b, "k%d,", k.ID)
+		}
+		for _, a := range n.Aggs {
+			fmt.Fprintf(&b, "a%s:%d=", a.Fn, a.Out.ID)
+			keyExpr(&b, a.Arg)
+		}
+	case plan.OpProcess:
+		b.WriteString(n.Processor)
+	case plan.OpReduce:
+		b.WriteString(n.Processor)
+		for _, k := range n.ReduceKeys {
+			fmt.Fprintf(&b, "k%d,", k.ID)
+		}
+	case plan.OpTop:
+		fmt.Fprintf(&b, "n%d", n.TopN)
+		for _, k := range n.SortKeys {
+			fmt.Fprintf(&b, "s%d:%t,", k.Col.ID, k.Desc)
+		}
+	case plan.OpOutput:
+		b.WriteString(n.OutputPath)
+	}
+	// Schema IDs distinguish otherwise identical payloads over different
+	// column identities (e.g. two scans of the same stream bound twice).
+	b.WriteString("|s:")
+	for _, c := range n.Schema {
+		fmt.Fprintf(&b, "%d,", c.ID)
+	}
+	b.WriteString("|c:")
+	for _, g := range children {
+		fmt.Fprintf(&b, "%d,", g.ID)
+	}
+	return b.String()
+}
+
+func keyExpr(b *strings.Builder, e *plan.Expr) {
+	if e == nil {
+		b.WriteByte('~')
+		return
+	}
+	fmt.Fprintf(b, "(%d", e.Kind)
+	switch e.Kind {
+	case plan.ExprColumn:
+		fmt.Fprintf(b, ":%d", e.Col.ID)
+	case plan.ExprConst:
+		b.WriteString(e.Lit.String())
+	case plan.ExprCmp, plan.ExprArith:
+		fmt.Fprintf(b, ":%d", e.Op)
+	case plan.ExprFunc:
+		b.WriteString(e.Fn)
+	}
+	for _, a := range e.Args {
+		keyExpr(b, a)
+	}
+	b.WriteByte(')')
+}
+
+// deriveProps computes a group's estimated statistics from one expression.
+func (m *Memo) deriveProps(e *MExpr) cost.Props {
+	childProps := make([]cost.Props, len(e.Children))
+	childSchemas := make([][]plan.Column, len(e.Children))
+	for i, c := range e.Children {
+		childProps[i] = c.Props
+		childSchemas[i] = c.Schema
+	}
+	return m.DerivePropsFrom(e.Node, childProps, childSchemas, e.Group.Schema)
+}
+
+// DerivePropsFrom estimates one operator's output statistics from explicit
+// child statistics. The physical search uses it to cost every candidate from
+// its *own* expression tree rather than canonical group statistics — which is
+// why the same job recompiled under different rule configurations can come
+// out with different (and sometimes lower) estimated costs: "the costs across
+// recompilation runs with different rules are not directly comparable" (§5.3).
+func (m *Memo) DerivePropsFrom(n *plan.Node, childProps []cost.Props, childSchemas [][]plan.Column, outSchema []plan.Column) cost.Props {
+	switch n.Op {
+	case plan.OpGet:
+		return m.est.Scan(n.Table, n.Schema, n.Pred)
+	case plan.OpSelect:
+		return m.est.Filter(childProps[0], n.Pred)
+	case plan.OpProject:
+		return m.est.Project(childProps[0], n.Projs)
+	case plan.OpJoin:
+		return m.est.Join(childProps[0], childProps[1], n.Pred)
+	case plan.OpGroupBy:
+		return m.est.GroupBy(childProps[0], n.GroupKeys, n.Aggs)
+	case plan.OpUnionAll:
+		return m.est.UnionAll(childProps, childSchemas, outSchema)
+	case plan.OpProcess:
+		return m.est.Process(childProps[0], n.Processor)
+	case plan.OpReduce:
+		return m.est.Reduce(childProps[0], n.ReduceKeys, n.Processor)
+	case plan.OpTop:
+		return m.est.Top(childProps[0], n.TopN)
+	case plan.OpOutput:
+		return childProps[0]
+	case plan.OpMulti:
+		var p cost.Props
+		p.NDV = map[plan.ColumnID]float64{}
+		for _, cp := range childProps {
+			p.Rows += cp.Rows
+			p.RowBytes = maxFloat(p.RowBytes, cp.RowBytes)
+		}
+		return p
+	}
+	return cost.Props{Rows: 1, RowBytes: 8, NDV: map[plan.ColumnID]float64{}}
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package cascades
+
+import (
+	"errors"
+	"fmt"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/cost"
+	"steerq/internal/plan"
+)
+
+// Optimizer compiles logical plans into physical plans under a rule
+// configuration.
+type Optimizer struct {
+	Rules  *RuleSet
+	Est    *cost.Estimator
+	Coster *cost.Coster
+
+	// MaxDOP caps the degree of parallelism per operator.
+	MaxDOP int
+	// MaxPasses bounds exploration rounds.
+	MaxPasses int
+	// ExprLimit / TotalLimit bound the memo (see Memo).
+	ExprLimit  int
+	TotalLimit int
+
+	// EnforceExchangeID and EnforceSortID are the rule IDs attributed to
+	// enforcer-inserted Exchange and Sort operators. Both must name
+	// Required rules in the rule set.
+	EnforceExchangeID int
+	EnforceSortID     int
+}
+
+// Result is the outcome of one compilation.
+type Result struct {
+	// Plan is the winning physical plan.
+	Plan *plan.PhysNode
+	// Cost is the estimated total plan cost (seconds of modeled latency).
+	Cost float64
+	// Signature is the rule signature: the set of rules that directly
+	// contributed to Plan (Definition 3.2).
+	Signature bitvec.Vector
+	// Config echoes the configuration used.
+	Config bitvec.Vector
+	// Groups and Exprs report memo size for diagnostics.
+	Groups, Exprs int
+}
+
+// ErrNoPlan is returned when no physical plan exists under the given
+// configuration — e.g. every implementation rule for some operator was
+// disabled. The paper notes many configurations "may not compile successfully
+// due to implicit dependencies" (§4); the discovery pipeline treats this
+// error as a skipped candidate.
+var ErrNoPlan = errors.New("cascades: no physical plan under this rule configuration")
+
+// Optimize compiles the logical plan under cfg and returns the cheapest
+// physical plan found, its estimated cost, and its rule signature.
+func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error) {
+	if root == nil {
+		return nil, errors.New("cascades: nil plan")
+	}
+	m := NewMemo(root, o.Est)
+	if o.ExprLimit > 0 {
+		m.ExprLimit = o.ExprLimit
+	}
+	if o.TotalLimit > 0 {
+		m.TotalLimit = o.TotalLimit
+	}
+	s := &search{
+		o:          o,
+		m:          m,
+		cfg:        cfg,
+		candidates: make(map[*Group][]*pexpr),
+	}
+	s.explore()
+	w := s.optimizeGroup(m.Root, plan.Distribution{Kind: plan.DistAny})
+	if w == nil {
+		return nil, fmt.Errorf("%w (root group %d)", ErrNoPlan, m.Root.ID)
+	}
+	p, sig := s.extract(w)
+	exprs := 0
+	for _, g := range m.Groups {
+		exprs += len(g.Exprs)
+	}
+	return &Result{
+		Plan:      p,
+		Cost:      w.total,
+		Signature: sig,
+		Config:    cfg,
+		Groups:    len(m.Groups),
+		Exprs:     exprs,
+	}, nil
+}
+
+// search carries per-compilation state.
+type search struct {
+	o          *Optimizer
+	m          *Memo
+	cfg        bitvec.Vector
+	candidates map[*Group][]*pexpr
+}
+
+// explore runs transformation rules to a bounded fixpoint. Each
+// (expression, rule) pair fires at most once; passes repeat so expressions
+// created late still receive every rule.
+func (s *search) explore() {
+	passes := s.o.MaxPasses
+	if passes <= 0 {
+		passes = 4
+	}
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for gi := 0; gi < len(s.m.Groups); gi++ {
+			g := s.m.Groups[gi]
+			for ei := 0; ei < len(g.Exprs); ei++ {
+				e := g.Exprs[ei]
+				for _, r := range s.o.Rules.Transforms {
+					ri := r.Info()
+					if !s.o.Rules.enabled(ri, s.cfg) {
+						continue
+					}
+					if e.firedRule(ri.ID) {
+						continue
+					}
+					results := r.Apply(e, s.m)
+					if results == nil {
+						continue // did not match; may match later passes
+					}
+					e.markFired(ri.ID)
+					for _, rn := range results {
+						if s.m.Intern(rn, g, e, ri.ID) {
+							changed = true
+						}
+					}
+					if s.m.Full() {
+						return
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

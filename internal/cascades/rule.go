@@ -1,0 +1,179 @@
+package cascades
+
+import (
+	"fmt"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/plan"
+)
+
+// Category classifies optimizer rules per §3.2 of the paper.
+type Category int
+
+// Rule categories (Table 2).
+const (
+	// Required rules are necessary for correctness (EnforceExchange,
+	// BuildOutput, ...). They ignore the rule configuration.
+	Required Category = iota
+	// OffByDefault rules are experimental or unsafe under mis-estimates
+	// (the CorrelatedJoinOnUnion family, ...). Disabled in the default
+	// configuration.
+	OffByDefault
+	// OnByDefault rules are the bulk of optimization rules: rewrites,
+	// join order, aggregation and sorting rules.
+	OnByDefault
+	// Implementation rules pick physical implementations of logical
+	// operators; at least one per operator type must stay enabled for a
+	// job to compile.
+	Implementation
+)
+
+var categoryNames = [...]string{"required", "off-by-default", "on-by-default", "implementation"}
+
+func (c Category) String() string { return categoryNames[c] }
+
+// RuleInfo is the identity and classification of one rule. IDs are stable
+// across the catalog and index rule configurations and signatures
+// (bit i of a bitvec.Vector corresponds to rule ID i).
+type RuleInfo struct {
+	ID       int
+	Name     string
+	Category Category
+}
+
+func (ri RuleInfo) String() string { return fmt.Sprintf("%s#%d(%s)", ri.Name, ri.ID, ri.Category) }
+
+// TransformRule rewrites a logical expression into equivalent logical
+// expressions.
+type TransformRule interface {
+	Info() RuleInfo
+	// Apply returns zero or more equivalent expressions for e. Returned
+	// RNodes join e's group. Apply must not mutate e or the memo besides
+	// allocating column IDs via m.NewColID.
+	Apply(e *MExpr, m *Memo) []*RNode
+}
+
+// PhysProto describes one physical implementation candidate produced by an
+// implementation rule.
+type PhysProto struct {
+	// Op is the physical operator.
+	Op plan.PhysOp
+	// Node is the operator payload (usually the matched logical payload,
+	// possibly adjusted).
+	Node *plan.Node
+	// ChildReq lists the required distribution per child (DOP fields are
+	// ignored; the engine derives degrees of parallelism).
+	ChildReq []plan.Distribution
+	// OutDist is the distribution the operator delivers given satisfied
+	// child requirements.
+	OutDist plan.Distribution
+	// BuildIdx marks the build side for join operators (-1 otherwise).
+	BuildIdx int
+	// NeedsSort asks the engine to insert a Sort enforcer on each child
+	// (merge join, stream aggregation).
+	NeedsSort bool
+	// LocalPre, when non-zero, asks the engine to run this per-partition
+	// operator on child 0 before enforcing the child requirement: the
+	// local phase of two-phase aggregation or top-N.
+	LocalPre plan.PhysOp
+}
+
+// ImplementRule produces physical implementation candidates for a logical
+// expression.
+type ImplementRule interface {
+	Info() RuleInfo
+	// Implement returns candidates for e, or nil when the rule does not
+	// apply to e's operator.
+	Implement(e *MExpr, m *Memo) []*PhysProto
+}
+
+// RuleSet is the rule catalog handed to the optimizer.
+type RuleSet struct {
+	Transforms []TransformRule
+	Implements []ImplementRule
+
+	infos map[int]RuleInfo
+}
+
+// NewRuleSet assembles a rule set and verifies rule IDs are unique and in
+// [0, bitvec.Width).
+func NewRuleSet(transforms []TransformRule, implements []ImplementRule, extra []RuleInfo) (*RuleSet, error) {
+	rs := &RuleSet{Transforms: transforms, Implements: implements, infos: make(map[int]RuleInfo)}
+	add := func(ri RuleInfo) error {
+		if ri.ID < 0 || ri.ID >= bitvec.Width {
+			return fmt.Errorf("cascades: rule %s: ID out of range", ri)
+		}
+		if prev, dup := rs.infos[ri.ID]; dup {
+			return fmt.Errorf("cascades: rule ID %d claimed by both %s and %s", ri.ID, prev.Name, ri.Name)
+		}
+		rs.infos[ri.ID] = ri
+		return nil
+	}
+	for _, r := range transforms {
+		if err := add(r.Info()); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range implements {
+		if err := add(r.Info()); err != nil {
+			return nil, err
+		}
+	}
+	for _, ri := range extra {
+		if err := add(ri); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// Info returns the metadata of a rule ID; ok is false for unknown IDs.
+func (rs *RuleSet) Info(id int) (RuleInfo, bool) {
+	ri, ok := rs.infos[id]
+	return ri, ok
+}
+
+// Infos returns all registered rule infos, ordered by ID.
+func (rs *RuleSet) Infos() []RuleInfo {
+	out := make([]RuleInfo, 0, len(rs.infos))
+	for id := 0; id < bitvec.Width; id++ {
+		if ri, ok := rs.infos[id]; ok {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// DefaultConfig returns the default rule configuration (Definition 3.1):
+// every rule enabled except the off-by-default category.
+func (rs *RuleSet) DefaultConfig() bitvec.Vector {
+	var v bitvec.Vector
+	for id, ri := range rs.infos {
+		if ri.Category != OffByDefault {
+			v.Set(id)
+		}
+	}
+	return v
+}
+
+// NonRequiredIDs returns the IDs of all rules outside the Required category
+// — the "learnable" rules the configuration search may toggle (the paper's
+// 219 non-required rules).
+func (rs *RuleSet) NonRequiredIDs() []int {
+	var out []int
+	for id := 0; id < bitvec.Width; id++ {
+		if ri, ok := rs.infos[id]; ok && ri.Category != Required {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// enabled reports whether a rule may fire under cfg: required rules always
+// may; others follow their configuration bit.
+func (rs *RuleSet) enabled(ri RuleInfo, cfg bitvec.Vector) bool {
+	if ri.Category == Required {
+		return true
+	}
+	return cfg.Get(ri.ID)
+}

@@ -1,0 +1,108 @@
+package cascades
+
+import (
+	"fmt"
+
+	"steerq/internal/plan"
+)
+
+// Validate checks structural invariants of an extracted physical plan. The
+// optimizer's own tests run every winning plan through it; it is also useful
+// when embedding the engine elsewhere.
+//
+// Checked invariants:
+//
+//   - every operator has the child count its kind requires;
+//   - degrees of parallelism are in [1, maxDOP] (singleton operators exactly 1);
+//   - hash-distributed streams carry hash keys; broadcast/gather exchanges
+//     carry the right distribution kinds;
+//   - operators that consume co-partitioned inputs (hash join, merge join,
+//     hash aggregation, reducers) actually receive hash- or
+//     singleton-distributed children;
+//   - every operator carries a rule attribution (RuleID >= 0).
+func Validate(p *plan.PhysNode, maxDOP int) error {
+	var firstErr error
+	report := func(n *plan.PhysNode, format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("cascades: invalid plan at %v: %s", n.Op, fmt.Sprintf(format, args...))
+		}
+	}
+	p.Walk(func(n *plan.PhysNode) {
+		if want, ok := childArity(n.Op); ok && len(n.Children) != want {
+			report(n, "has %d children, want %d", len(n.Children), want)
+			return
+		}
+		dop := n.Dist.DOP
+		if dop < 1 || (maxDOP > 0 && dop > maxDOP) {
+			report(n, "DOP %d outside [1, %d]", dop, maxDOP)
+			return
+		}
+		switch n.Op {
+		case plan.PhysGlobalTop:
+			if dop != 1 {
+				report(n, "global top at DOP %d", dop)
+			}
+		case plan.PhysExchange:
+			switch n.Exchange {
+			case plan.ExchangeGather:
+				if n.Dist.Kind != plan.DistSingleton || dop != 1 {
+					report(n, "gather delivering %v", n.Dist)
+				}
+			case plan.ExchangeBroadcast:
+				if n.Dist.Kind != plan.DistBroadcast {
+					report(n, "broadcast delivering %v", n.Dist)
+				}
+			case plan.ExchangeShuffle:
+				if n.Dist.Kind == plan.DistHash && len(n.Dist.Keys) == 0 {
+					report(n, "hash shuffle without keys")
+				}
+			}
+		case plan.PhysHashJoin, plan.PhysMergeJoin:
+			for i, c := range n.Children {
+				if c.Dist.Kind != plan.DistHash && c.Dist.Kind != plan.DistSingleton {
+					report(n, "re-partitioned join child %d delivered %v", i, c.Dist)
+				}
+			}
+		case plan.PhysHashJoinAlt, plan.PhysLoopJoin:
+			if n.Children[1].Dist.Kind != plan.DistBroadcast {
+				report(n, "build side delivered %v, want broadcast", n.Children[1].Dist)
+			}
+		case plan.PhysHashAgg, plan.PhysStreamAgg, plan.PhysFinalHashAgg:
+			c := n.Children[0]
+			if len(n.GroupKeys) > 0 {
+				if c.Dist.Kind != plan.DistHash && c.Dist.Kind != plan.DistSingleton {
+					report(n, "keyed aggregation over %v input", c.Dist)
+				}
+			} else if c.Dist.Kind != plan.DistSingleton {
+				report(n, "global aggregation over %v input", c.Dist)
+			}
+		case plan.PhysReduceImpl:
+			c := n.Children[0]
+			if c.Dist.Kind != plan.DistHash && c.Dist.Kind != plan.DistSingleton {
+				report(n, "reducer over %v input", c.Dist)
+			}
+		}
+		if n.Dist.Kind == plan.DistHash && len(n.Dist.Keys) == 0 {
+			report(n, "hash distribution without keys")
+		}
+		if n.RuleID < 0 {
+			report(n, "operator without rule attribution")
+		}
+	})
+	return firstErr
+}
+
+// childArity returns the exact child count an operator requires; ok is false
+// for variadic operators (unions, the multi root).
+func childArity(op plan.PhysOp) (int, bool) {
+	switch op {
+	case plan.PhysExtract, plan.PhysRangeScan:
+		return 0, true
+	case plan.PhysHashJoin, plan.PhysHashJoinAlt, plan.PhysMergeJoin, plan.PhysLoopJoin:
+		return 2, true
+	case plan.PhysUnionMerge, plan.PhysVirtualDataset, plan.PhysMultiImpl:
+		return 0, false
+	default:
+		return 1, true
+	}
+}

@@ -1,0 +1,213 @@
+// Package catalog models the data lake underneath the simulated SCOPE
+// cluster: named input streams with schemas and statistics.
+//
+// Every stream carries two layers of statistics:
+//
+//   - Estimated statistics — what the optimizer's cardinality estimator sees:
+//     base row counts collected at some point in the past, per-column distinct
+//     counts and min/max ranges, and nothing else. The estimator combines them
+//     under uniformity and independence assumptions (internal/cost).
+//
+//   - True statistics — the hidden ground truth used by the execution
+//     simulator: actual daily row counts (inputs evolve day to day, §3.1.1),
+//     value skew on join keys, correlations between predicate columns, and
+//     the real expansion factors of user-defined operators.
+//
+// The gap between the two layers is exactly the class of optimizer error the
+// paper exploits: "changing rule configurations can impact [estimates],
+// thus the costs across recompilation runs ... are not directly comparable"
+// (§5.3) and "severe cardinality underestimates can lead an optimizer to pick
+// a disastrous plan" (§1).
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"steerq/internal/xrand"
+)
+
+// Column describes one column of a stream together with its statistics.
+type Column struct {
+	Name string
+
+	// Distinct is the estimated number of distinct values (what the
+	// optimizer sees; may be stale relative to TrueDistinct).
+	Distinct float64
+
+	// TrueDistinct is the actual distinct count.
+	TrueDistinct float64
+
+	// Min and Max bound the numeric domain of the column. Predicates in
+	// generated jobs compare against constants drawn from this range.
+	Min, Max float64
+
+	// Skew is the Zipf exponent of the value frequency distribution.
+	// 0 means uniform. Join keys with Skew > 0 produce true join fan-outs
+	// far above the estimator's uniform-frequency prediction.
+	Skew float64
+}
+
+// Correlation records that predicates on columns A and B of the same stream
+// are correlated: the true joint selectivity of conjunctive filters on both
+// is Factor times the independence product (clamped to the smaller single
+// selectivity). Factor > 1 means positively correlated predicates — the
+// classic source of underestimates.
+type Correlation struct {
+	A, B   string
+	Factor float64
+}
+
+// Stream is a named input stream (SCOPE's unit of storage).
+type Stream struct {
+	Name    string
+	Columns []Column
+
+	// BaseRows is the row count the optimizer's statistics were collected
+	// at. The estimator always uses this number.
+	BaseRows float64
+
+	// DailySigma is the log-normal sigma of the daily size multiplier;
+	// TrueRows(day) fluctuates around BaseRows with this spread plus a
+	// mild growth trend.
+	DailySigma float64
+
+	// GrowthPerDay is a multiplicative daily growth factor for the true
+	// size (1.0 = no growth). Recurring templates whose inputs grow are
+	// how the paper's regressions-across-weeks scenario arises.
+	GrowthPerDay float64
+
+	// BytesPerRow is the average row width, used for I/O accounting.
+	BytesPerRow float64
+
+	Correlations []Correlation
+
+	seed uint64
+}
+
+// Catalog is a read-only set of streams plus registered user-defined
+// operators.
+type Catalog struct {
+	streams map[string]*Stream
+	names   []string
+	udos    map[string]*UDO
+}
+
+// UDO describes a user-defined operator (PROCESS or REDUCE body).
+// SCOPE jobs mix relational and user-defined operators (§3.1); their
+// cardinality behaviour is opaque to the optimizer.
+type UDO struct {
+	Name string
+
+	// EstFactor is the row multiplier the optimizer assumes (SCOPE-like
+	// engines use a fixed guess for opaque operators).
+	EstFactor float64
+
+	// TrueFactor is the actual row multiplier applied at execution.
+	TrueFactor float64
+
+	// CPUPerRow is the relative CPU weight of the operator per input row
+	// (user code is often much heavier than relational operators).
+	CPUPerRow float64
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		streams: make(map[string]*Stream),
+		udos:    make(map[string]*UDO),
+	}
+}
+
+// AddStream registers a stream. It panics on duplicate names: catalogs are
+// constructed once by generators, and a duplicate indicates a generator bug.
+func (c *Catalog) AddStream(s *Stream) {
+	if _, dup := c.streams[s.Name]; dup {
+		panic(fmt.Sprintf("catalog: duplicate stream %q", s.Name))
+	}
+	c.streams[s.Name] = s
+	c.names = append(c.names, s.Name)
+	sort.Strings(c.names)
+}
+
+// AddUDO registers a user-defined operator.
+func (c *Catalog) AddUDO(u *UDO) {
+	if _, dup := c.udos[u.Name]; dup {
+		panic(fmt.Sprintf("catalog: duplicate UDO %q", u.Name))
+	}
+	c.udos[u.Name] = u
+}
+
+// Stream returns the named stream, or nil if absent.
+func (c *Catalog) Stream(name string) *Stream { return c.streams[name] }
+
+// UDO returns the named user-defined operator, or nil if absent.
+func (c *Catalog) UDO(name string) *UDO { return c.udos[name] }
+
+// StreamNames returns all stream names in sorted order.
+func (c *Catalog) StreamNames() []string { return append([]string(nil), c.names...) }
+
+// Column returns the column statistics for the named column, or nil.
+func (s *Stream) Column(name string) *Column {
+	for i := range s.Columns {
+		if s.Columns[i].Name == name {
+			return &s.Columns[i]
+		}
+	}
+	return nil
+}
+
+// TrueRows returns the actual number of rows in the stream on the given day.
+// It is deterministic in (stream name, day): every stream evolves on its own
+// schedule.
+func (s *Stream) TrueRows(day int) float64 {
+	r := xrand.New(s.seed).Derive("stream", s.Name, "day", fmt.Sprint(day))
+	mult := r.LogNormal(0, s.DailySigma)
+	growth := math.Pow(s.GrowthPerDay, float64(day))
+	rows := s.BaseRows * mult * growth
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// CorrelationFactor returns the true-selectivity correction factor for a
+// conjunction of predicates on columns a and b, or 1 if they are not
+// correlated.
+func (s *Stream) CorrelationFactor(a, b string) float64 {
+	for _, c := range s.Correlations {
+		if (c.A == a && c.B == b) || (c.A == b && c.B == a) {
+			return c.Factor
+		}
+	}
+	return 1
+}
+
+// SkewFanout converts a column's Zipf skew into the multiplier by which the
+// true join fan-out on that key exceeds the uniform-frequency prediction.
+// With skew z over d distinct values, the expected frequency of a uniformly
+// drawn *row*'s key is sum(f_i^2)/sum(f_i) rather than n/d; this returns the
+// ratio of the two, >= 1.
+func SkewFanout(distinct, skew float64) float64 {
+	if skew <= 0 || distinct <= 1 {
+		return 1
+	}
+	d := int(distinct)
+	if d > 4096 {
+		// The harmonic sums converge quickly; cap the loop for speed.
+		d = 4096
+	}
+	var s1, s2 float64
+	for i := 1; i <= d; i++ {
+		f := 1 / math.Pow(float64(i), skew)
+		s1 += f
+		s2 += f * f
+	}
+	// ratio of (s2/s1^2) to (1/d): how concentrated the mass is.
+	r := (s2 / (s1 * s1)) * float64(d)
+	if r < 1 {
+		return 1
+	}
+	return r
+}

@@ -1,0 +1,85 @@
+// Package cost implements the two statistics layers of the simulated SCOPE
+// optimizer:
+//
+//   - ModeEstimated — the cardinality estimator and cost model the optimizer
+//     uses during plan search. It sees stale base row counts and per-column
+//     NDV/min-max statistics, assumes value uniformity and predicate
+//     independence (softened by exponential backoff), and trusts fixed row
+//     multipliers for user-defined operators.
+//
+//   - ModeTrue — the ground-truth oracle used by the execution simulator. It
+//     sees actual daily row counts, value skew, cross-column correlations and
+//     the real expansion of user-defined operators.
+//
+// Both layers share one code path parameterized by Mode, so the *structure*
+// of estimation is identical and only the statistical assumptions differ —
+// the same situation as a production optimizer whose formulas are fine but
+// whose inputs and independence assumptions are wrong (§1, §5.3 of the
+// paper).
+package cost
+
+import (
+	"steerq/internal/plan"
+)
+
+// Mode selects estimated or true statistics.
+type Mode int
+
+// Estimation modes.
+const (
+	ModeEstimated Mode = iota
+	ModeTrue
+)
+
+// Props are the derived statistical properties of one operator's output.
+type Props struct {
+	// Rows is the output cardinality.
+	Rows float64
+	// RowBytes is the average output row width in bytes.
+	RowBytes float64
+	// NDV maps column IDs to their number of distinct values.
+	NDV map[plan.ColumnID]float64
+}
+
+// Clone returns a deep copy of p.
+func (p Props) Clone() Props {
+	ndv := make(map[plan.ColumnID]float64, len(p.NDV))
+	for k, v := range p.NDV {
+		ndv[k] = v
+	}
+	return Props{Rows: p.Rows, RowBytes: p.RowBytes, NDV: ndv}
+}
+
+// ColNDV returns the distinct count for a column, defaulting to Rows when
+// unknown (a safe upper bound).
+func (p Props) ColNDV(id plan.ColumnID) float64 {
+	if v, ok := p.NDV[id]; ok && v > 0 {
+		return v
+	}
+	return p.Rows
+}
+
+func clampNDV(ndv map[plan.ColumnID]float64, rows float64) {
+	for k, v := range ndv {
+		if v > rows {
+			ndv[k] = rows
+		}
+		if ndv[k] < 1 {
+			ndv[k] = 1
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

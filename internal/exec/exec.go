@@ -1,0 +1,369 @@
+// Package exec simulates distributed execution of physical plans on a
+// SCOPE-like cluster: stage-structured execution at the plan's chosen degrees
+// of parallelism, with runtimes derived from *true* statistics
+// (cost.ModeTrue) rather than the estimates the optimizer planned with.
+//
+// The simulator reproduces the error classes the paper attributes runtime
+// wins and regressions to:
+//
+//   - cardinality gaps (correlations, skew, daily input drift, opaque UDOs)
+//     make truly-expensive operators cheap on paper and vice versa;
+//   - partition skew penalizes shuffles on hot keys, invisible to the
+//     estimator;
+//   - degrees of parallelism chosen from estimated sizes misfit the real
+//     data;
+//   - per-vertex scheduling overhead penalizes plans with many tiny
+//     partitions (e.g. deep virtual-dataset unions).
+//
+// Executions are noisy but deterministic in (seed, job tag, plan, day), so
+// A/B comparisons (internal/abtest) are reproducible while still showing the
+// runtime variance the paper reports for short jobs (§3.1.1).
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"steerq/internal/catalog"
+	"steerq/internal/cost"
+	"steerq/internal/plan"
+	"steerq/internal/xrand"
+)
+
+// Metrics are the outcome of one job execution, matching §3.1.2: runtime
+// (wall clock), total CPU time across vertices, and total I/O time.
+type Metrics struct {
+	RuntimeSec float64
+	CPUSec     float64
+	IOTimeSec  float64
+	IOBytes    float64
+	// Vertices approximates the number of containers the job occupied.
+	Vertices int
+	// VertexSeconds is total container occupancy (sum over operators of
+	// latency x parallelism) — the resource-consumption measure behind the
+	// paper's "10%% of jobs consume 90%% of the containers".
+	VertexSeconds float64
+}
+
+// Executor runs physical plans against the simulated cluster.
+type Executor struct {
+	Cat    *catalog.Catalog
+	Coster *cost.Coster
+
+	// Tokens is the container budget per job. The A/B infrastructure pins
+	// it (50 in the paper's experiments, §3.1.3). Stages wider than the
+	// token budget execute in waves.
+	Tokens int
+
+	// Seed roots the deterministic noise streams.
+	Seed uint64
+
+	// BaseSigma is the per-stage log-normal noise; short stages get extra
+	// variance (short jobs vary ~10%, §3.1.1). Zero means the default.
+	BaseSigma float64
+
+	// HotSpotProb is the chance a stage lands on a hot node and slows
+	// down. Zero means the default.
+	HotSpotProb float64
+}
+
+// New returns an executor with default rates for the given catalog.
+func New(cat *catalog.Catalog, seed uint64) *Executor {
+	return &Executor{
+		Cat:         cat,
+		Coster:      cost.NewCoster(),
+		Tokens:      50,
+		Seed:        seed,
+		BaseSigma:   0.05,
+		HotSpotProb: 0.02,
+	}
+}
+
+// Run executes the plan for the given day. tag distinguishes executions of
+// the same plan (job instance ID, attempt number): different tags see
+// different noise, identical tags reproduce identical metrics.
+func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
+	oracle := cost.NewTrue(x.Cat, day)
+	props := make(map[*plan.PhysNode]cost.Props)
+	x.trueProps(p, oracle, props)
+
+	noise := newNoise(x.Seed, tag, day)
+
+	var m Metrics
+	longest := make(map[*plan.PhysNode]float64)
+	var walk func(n *plan.PhysNode) float64
+	seen := make(map[*plan.PhysNode]bool)
+	var rec func(n *plan.PhysNode)
+	// First pass: accumulate totals (each node once).
+	rec = func(n *plan.PhysNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			rec(c)
+		}
+		u := x.nodeUsage(n, props, noise, day)
+		m.CPUSec += u.CPUSeconds
+		m.IOBytes += u.IOBytes
+		dop := n.Dist.DOP
+		if dop < 1 {
+			dop = 1
+		}
+		m.VertexSeconds += u.LatencySeconds * float64(dop)
+		if isStageHead(n.Op) {
+			m.Vertices += n.Dist.DOP
+		}
+	}
+	rec(p)
+	m.IOTimeSec = m.IOBytes / x.Coster.BytesPerIOSecond
+
+	// Second pass: critical path of per-node latencies (parallel branches
+	// overlap; operators along a path serialize at stage boundaries).
+	walk = func(n *plan.PhysNode) float64 {
+		if v, ok := longest[n]; ok {
+			return v
+		}
+		var childMax float64
+		for _, c := range n.Children {
+			if v := walk(c); v > childMax {
+				childMax = v
+			}
+		}
+		u := x.nodeUsage(n, props, noise, day)
+		v := childMax + u.LatencySeconds
+		longest[n] = v
+		return v
+	}
+	m.RuntimeSec = walk(p)
+	return m
+}
+
+// newNoise builds the deterministic noise stream of one execution.
+func newNoise(seed uint64, tag string, day int) *xrand.Source {
+	return xrand.New(seed).Derive("exec", tag, fmt.Sprint(day))
+}
+
+func isStageHead(op plan.PhysOp) bool {
+	switch op {
+	case plan.PhysExchange, plan.PhysExtract, plan.PhysRangeScan:
+		return true
+	}
+	return false
+}
+
+// nodeUsage costs one node with true statistics, the plan's DOP, skew
+// penalties and execution noise. Deterministic per (executor seed, tag, day,
+// node identity) — it derives noise from the node's position-independent
+// content, so it is called twice per Run with identical results.
+func (x *Executor) nodeUsage(n *plan.PhysNode, props map[*plan.PhysNode]cost.Props, noise *xrand.Source, day int) cost.OpUsage {
+	p := props[n]
+	var inRows, inBytes float64
+	for _, c := range n.Children {
+		cp := props[c]
+		inRows += cp.Rows
+		inBytes += cp.Rows * cp.RowBytes
+	}
+	if n.Op == plan.PhysExtract || n.Op == plan.PhysRangeScan {
+		// Scans read the whole (true) stream.
+		if st := x.Cat.Stream(n.Table); st != nil {
+			inRows = st.TrueRows(day)
+			inBytes = inRows * st.BytesPerRow
+		}
+	}
+	dop := n.Dist.DOP
+	if dop < 1 {
+		dop = 1
+	}
+	params := cost.OpCostParams{
+		Op:       n.Op,
+		Exchange: n.Exchange,
+		InRows:   inRows,
+		InBytes:  inBytes,
+		OutRows:  p.Rows,
+		OutBytes: p.Rows * p.RowBytes,
+		DOP:      dop,
+		TopN:     n.TopN,
+		Branches: len(n.Children),
+	}
+	if n.Processor != "" {
+		params.UDO = x.Cat.UDO(n.Processor)
+	}
+	if len(n.Children) == 2 {
+		switch n.Op {
+		case plan.PhysHashJoin, plan.PhysHashJoinAlt, plan.PhysMergeJoin, plan.PhysLoopJoin:
+			b := x.buildSide(n, props)
+			params.BuildRows = props[n.Children[b]].Rows
+			params.ProbeRows = props[n.Children[1-b]].Rows
+		}
+	}
+	u := x.Coster.Cost(params)
+
+	// Wave execution past the token budget: a 200-wide stage on 50 tokens
+	// needs four waves.
+	if x.Tokens > 0 && dop > x.Tokens {
+		waves := math.Ceil(float64(dop) / float64(x.Tokens))
+		u.LatencySeconds *= waves
+	}
+
+	// Partition skew: shuffles and hash-partitioned consumers on a hot key
+	// concentrate work on one vertex.
+	if f := x.skewFactor(n); f > 1 {
+		u.LatencySeconds *= f
+	}
+
+	// Execution noise, deterministic per node content.
+	r := noise.Derive("node", nodeTag(n))
+	sigma := x.BaseSigma + 0.25/math.Sqrt(1+u.LatencySeconds)
+	mult := r.LogNormal(0, sigma)
+	if r.Bool(x.HotSpotProb) {
+		mult *= r.Uniform(1.3, 2.5)
+	}
+	u.LatencySeconds *= mult
+	u.CPUSeconds *= mult
+	return u
+}
+
+// buildSide locates the smaller true side for PhysHashJoin (which builds on
+// whichever side the optimizer *estimated* smaller — re-derive from the
+// plan's estimates, not the truth, since the executor must honor the plan).
+func (x *Executor) buildSide(n *plan.PhysNode, props map[*plan.PhysNode]cost.Props) int {
+	switch n.Op {
+	case plan.PhysHashJoinAlt, plan.PhysLoopJoin:
+		return 1 // always builds the (broadcast) right side
+	}
+	// HashJoin / MergeJoin: the plan committed to the side with the
+	// smaller estimate.
+	if n.Children[0].EstRows < n.Children[1].EstRows {
+		return 0
+	}
+	return 1
+}
+
+// skewFactor penalizes hash partitioning on skewed keys: the hottest
+// partition carries a disproportionate share.
+func (x *Executor) skewFactor(n *plan.PhysNode) float64 {
+	if n.Op != plan.PhysExchange || n.Exchange != plan.ExchangeShuffle {
+		return 1
+	}
+	if n.Dist.Kind != plan.DistHash || n.Dist.DOP <= 1 {
+		return 1
+	}
+	worst := 1.0
+	for _, c := range n.Schema {
+		id := c.ID
+		for _, k := range n.Dist.Keys {
+			if k != id {
+				continue
+			}
+			st, col := x.lookupColumn(c)
+			if st == nil || col == nil || col.Skew <= 0 {
+				continue
+			}
+			f := catalog.SkewFanout(col.TrueDistinct, col.Skew)
+			// The hottest key's share bounded by one partition's capacity.
+			pen := 1 + minf(f-1, float64(n.Dist.DOP)-1)*0.25
+			if pen > worst {
+				worst = pen
+			}
+		}
+	}
+	return worst
+}
+
+func (x *Executor) lookupColumn(c plan.Column) (*catalog.Stream, *catalog.Column) {
+	i := strings.LastIndexByte(c.Source, '.')
+	if i < 0 {
+		return nil, nil
+	}
+	st := x.Cat.Stream(c.Source[:i])
+	if st == nil {
+		return nil, nil
+	}
+	return st, st.Column(c.Source[i+1:])
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// nodeTag builds a stable content tag for noise derivation.
+func nodeTag(n *plan.PhysNode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|%s|%d|%d", n.Op, n.Table, n.Processor, n.Dist.DOP, len(n.Children))
+	if n.Pred != nil {
+		b.WriteString(n.Pred.String())
+	}
+	for _, c := range n.Schema {
+		fmt.Fprintf(&b, ",%d", c.ID)
+	}
+	return b.String()
+}
+
+// trueProps derives ground-truth statistics for every node of the physical
+// DAG.
+func (x *Executor) trueProps(n *plan.PhysNode, oracle *cost.Estimator, memo map[*plan.PhysNode]cost.Props) cost.Props {
+	if p, ok := memo[n]; ok {
+		return p
+	}
+	childProps := make([]cost.Props, len(n.Children))
+	childSchemas := make([][]plan.Column, len(n.Children))
+	for i, c := range n.Children {
+		childProps[i] = x.trueProps(c, oracle, memo)
+		childSchemas[i] = c.Schema
+	}
+	var p cost.Props
+	switch n.Op {
+	case plan.PhysExtract, plan.PhysRangeScan:
+		p = oracle.Scan(n.Table, n.Schema, n.Pred)
+	case plan.PhysFilter:
+		p = oracle.Filter(childProps[0], n.Pred)
+	case plan.PhysCompute:
+		p = oracle.Project(childProps[0], n.Projs)
+	case plan.PhysHashJoin, plan.PhysHashJoinAlt, plan.PhysMergeJoin, plan.PhysLoopJoin:
+		p = oracle.Join(childProps[0], childProps[1], n.Pred)
+	case plan.PhysHashAgg, plan.PhysStreamAgg, plan.PhysFinalHashAgg:
+		p = oracle.GroupBy(childProps[0], n.GroupKeys, n.Aggs)
+	case plan.PhysPartialHashAgg:
+		full := oracle.GroupBy(childProps[0], n.GroupKeys, n.Aggs)
+		p = full
+		dop := float64(n.Dist.DOP)
+		if dop < 1 {
+			dop = 1
+		}
+		p.Rows = math.Min(childProps[0].Rows, full.Rows*dop)
+	case plan.PhysUnionMerge, plan.PhysVirtualDataset:
+		p = oracle.UnionAll(childProps, childSchemas, n.Schema)
+	case plan.PhysProcessImpl:
+		p = oracle.Process(childProps[0], n.Processor)
+	case plan.PhysReduceImpl:
+		p = oracle.Reduce(childProps[0], n.ReduceKeys, n.Processor)
+	case plan.PhysLocalTop:
+		p = childProps[0].Clone()
+		dop := float64(n.Dist.DOP)
+		if dop < 1 {
+			dop = 1
+		}
+		p.Rows = math.Min(childProps[0].Rows, float64(n.TopN)*dop)
+	case plan.PhysGlobalTop:
+		p = oracle.Top(childProps[0], n.TopN)
+	case plan.PhysSort, plan.PhysExchange, plan.PhysOutputImpl:
+		p = childProps[0]
+	case plan.PhysMultiImpl:
+		p = cost.Props{NDV: map[plan.ColumnID]float64{}}
+		for _, cp := range childProps {
+			p.Rows += cp.Rows
+			if cp.RowBytes > p.RowBytes {
+				p.RowBytes = cp.RowBytes
+			}
+		}
+	default:
+		p = cost.Props{Rows: 1, RowBytes: 8, NDV: map[plan.ColumnID]float64{}}
+	}
+	memo[n] = p
+	return p
+}

@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"steerq/internal/catalog"
+	"steerq/internal/cost"
+	"steerq/internal/plan"
+)
+
+func execCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddStream(&catalog.Stream{
+		Name: "s",
+		Columns: []catalog.Column{
+			{Name: "k", Distinct: 1000, TrueDistinct: 1000, Min: 0, Max: 1000, Skew: 1.3},
+			{Name: "v", Distinct: 100, TrueDistinct: 100, Min: 0, Max: 100},
+		},
+		BaseRows: 1e7, BytesPerRow: 50, DailySigma: 0.2, GrowthPerDay: 1.01,
+	})
+	cat.AddUDO(&catalog.UDO{Name: "u", EstFactor: 1, TrueFactor: 2, CPUPerRow: 4})
+	return cat
+}
+
+// scanPlan builds Extract -> Filter -> Output with the given DOPs.
+func scanPlan(dop int) *plan.PhysNode {
+	k := plan.Column{ID: 1, Name: "k", Source: "s.k"}
+	v := plan.Column{ID: 2, Name: "v", Source: "s.v"}
+	schema := []plan.Column{k, v}
+	scan := &plan.PhysNode{
+		Op: plan.PhysExtract, Table: "s", Schema: schema,
+		Dist: plan.Distribution{Kind: plan.DistRandom, DOP: dop}, EstRows: 1e7, RuleID: 3,
+	}
+	filter := &plan.PhysNode{
+		Op: plan.PhysFilter, Schema: schema,
+		Pred:     plan.Cmp(plan.OpGT, plan.ColExpr(v), plan.NumExpr(50)),
+		Children: []*plan.PhysNode{scan},
+		Dist:     plan.Distribution{Kind: plan.DistRandom, DOP: dop}, EstRows: 5e6, RuleID: 4,
+	}
+	out := &plan.PhysNode{
+		Op: plan.PhysOutputImpl, OutputPath: "o", Schema: schema,
+		Children: []*plan.PhysNode{filter},
+		Dist:     plan.Distribution{Kind: plan.DistRandom, DOP: dop}, EstRows: 5e6, RuleID: 2,
+	}
+	return out
+}
+
+func TestRunDeterministic(t *testing.T) {
+	x := New(execCatalog(), 42)
+	p := scanPlan(10)
+	m1 := x.Run(p, 0, "job1")
+	m2 := x.Run(p, 0, "job1")
+	if m1 != m2 {
+		t.Fatalf("identical runs differ: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestRunNoiseVariesByTag(t *testing.T) {
+	x := New(execCatalog(), 42)
+	p := scanPlan(10)
+	m1 := x.Run(p, 0, "job1")
+	m2 := x.Run(p, 0, "job2")
+	if m1.RuntimeSec == m2.RuntimeSec {
+		t.Fatal("different job tags produced identical runtimes")
+	}
+	// Noise is bounded: the two runs are the same plan on the same data.
+	ratio := m1.RuntimeSec / m2.RuntimeSec
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("noise unreasonably large: ratio %v", ratio)
+	}
+}
+
+func TestRunVariesByDay(t *testing.T) {
+	x := New(execCatalog(), 42)
+	p := scanPlan(10)
+	m0 := x.Run(p, 0, "job")
+	m5 := x.Run(p, 5, "job")
+	if m0.RuntimeSec == m5.RuntimeSec {
+		t.Fatal("daily input drift not reflected in runtimes")
+	}
+}
+
+func TestMetricsPositive(t *testing.T) {
+	x := New(execCatalog(), 42)
+	m := x.Run(scanPlan(10), 0, "job")
+	if m.RuntimeSec <= 0 || m.CPUSec <= 0 || m.IOBytes <= 0 || m.Vertices <= 0 || m.VertexSeconds <= 0 {
+		t.Fatalf("non-positive metrics: %+v", m)
+	}
+}
+
+func TestParallelismReducesRuntime(t *testing.T) {
+	x := New(execCatalog(), 42)
+	x.BaseSigma = 0
+	x.HotSpotProb = 0
+	serial := x.Run(scanPlan(1), 0, "job")
+	parallel := x.Run(scanPlan(40), 0, "job")
+	if parallel.RuntimeSec >= serial.RuntimeSec {
+		t.Fatalf("DOP 40 (%vs) not faster than DOP 1 (%vs)", parallel.RuntimeSec, serial.RuntimeSec)
+	}
+	// Total CPU is roughly parallelism-independent.
+	ratio := parallel.CPUSec / serial.CPUSec
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("CPU total changed with parallelism: ratio %v", ratio)
+	}
+}
+
+func TestWavePenaltyPastTokens(t *testing.T) {
+	x := New(execCatalog(), 42)
+	x.BaseSigma = 0
+	x.HotSpotProb = 0
+	x.Tokens = 10
+	within := x.Run(scanPlan(10), 0, "job")
+	x2 := New(execCatalog(), 42)
+	x2.BaseSigma = 0
+	x2.HotSpotProb = 0
+	x2.Tokens = 10
+	beyond := x2.Run(scanPlan(40), 0, "job")
+	// 40-wide stages on 10 tokens run in 4 waves: no faster than 10-wide.
+	if beyond.RuntimeSec < within.RuntimeSec*0.9 {
+		t.Fatalf("token budget not enforced: 40-wide %vs vs 10-wide %vs", beyond.RuntimeSec, within.RuntimeSec)
+	}
+}
+
+func TestSkewPenaltyOnHotKeyShuffle(t *testing.T) {
+	x := New(execCatalog(), 42)
+	x.BaseSigma = 0
+	x.HotSpotProb = 0
+	k := plan.Column{ID: 1, Name: "k", Source: "s.k"}
+	schema := []plan.Column{k}
+	scan := &plan.PhysNode{
+		Op: plan.PhysExtract, Table: "s", Schema: schema,
+		Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 20}, RuleID: 3,
+	}
+	mk := func(keys []plan.ColumnID) *plan.PhysNode {
+		ex := &plan.PhysNode{
+			Op: plan.PhysExchange, Exchange: plan.ExchangeShuffle, Schema: schema,
+			Children: []*plan.PhysNode{scan},
+			Dist:     plan.Distribution{Kind: plan.DistHash, Keys: keys, DOP: 20},
+			RuleID:   0,
+		}
+		return &plan.PhysNode{
+			Op: plan.PhysOutputImpl, Schema: schema, OutputPath: "o",
+			Children: []*plan.PhysNode{ex},
+			Dist:     plan.Distribution{Kind: plan.DistHash, Keys: keys, DOP: 20},
+			RuleID:   2,
+		}
+	}
+	onHotKey := x.Run(mk([]plan.ColumnID{1}), 0, "hot")
+	onNoKey := x.Run(mk(nil), 0, "hot")
+	if onHotKey.RuntimeSec <= onNoKey.RuntimeSec {
+		t.Fatalf("hot-key shuffle (%vs) not slower than keyless (%vs)", onHotKey.RuntimeSec, onNoKey.RuntimeSec)
+	}
+}
+
+func TestTruePropsUDOExpansion(t *testing.T) {
+	x := New(execCatalog(), 42)
+	k := plan.Column{ID: 1, Name: "k", Source: "s.k"}
+	schema := []plan.Column{k}
+	scan := &plan.PhysNode{
+		Op: plan.PhysExtract, Table: "s", Schema: schema,
+		Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 10}, RuleID: 3,
+	}
+	proc := &plan.PhysNode{
+		Op: plan.PhysProcessImpl, Processor: "u", Schema: schema,
+		Children: []*plan.PhysNode{scan},
+		Dist:     plan.Distribution{Kind: plan.DistRandom, DOP: 10}, RuleID: 233,
+	}
+	oracle := cost.NewTrue(x.Cat, 0)
+	memo := make(map[*plan.PhysNode]cost.Props)
+	x.trueProps(proc, oracle, memo)
+	if memo[proc].Rows != 2*memo[scan].Rows {
+		t.Fatalf("true UDO factor lost: in=%v out=%v", memo[scan].Rows, memo[proc].Rows)
+	}
+}
+
+func TestSharedNodeCountedOnce(t *testing.T) {
+	x := New(execCatalog(), 42)
+	x.BaseSigma = 0
+	x.HotSpotProb = 0
+	k := plan.Column{ID: 1, Name: "k", Source: "s.k"}
+	schema := []plan.Column{k}
+	scan := &plan.PhysNode{
+		Op: plan.PhysExtract, Table: "s", Schema: schema,
+		Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 10}, RuleID: 3,
+	}
+	out1 := &plan.PhysNode{Op: plan.PhysOutputImpl, Schema: schema, OutputPath: "a", Children: []*plan.PhysNode{scan}, Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 10}, RuleID: 2}
+	out2 := &plan.PhysNode{Op: plan.PhysOutputImpl, Schema: schema, OutputPath: "b", Children: []*plan.PhysNode{scan}, Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 10}, RuleID: 2}
+	multi := &plan.PhysNode{Op: plan.PhysMultiImpl, Schema: nil, Children: []*plan.PhysNode{out1, out2}, Dist: plan.Distribution{Kind: plan.DistSingleton, DOP: 1}, RuleID: 6}
+
+	shared := x.Run(multi, 0, "dag")
+	single := x.Run(out1, 0, "dag")
+	// The shared scan is paid once: the two-output job costs less CPU than
+	// twice the single-output job.
+	if shared.CPUSec >= 1.9*single.CPUSec {
+		t.Fatalf("shared scan double-counted: %v vs 2x %v", shared.CPUSec, single.CPUSec)
+	}
+}
+
+func TestExplainMatchesRun(t *testing.T) {
+	x := New(execCatalog(), 42)
+	p := scanPlan(10)
+	rep := x.Explain(p, 0, "job")
+	m := x.Run(p, 0, "job")
+	if rep.Metrics != m {
+		t.Fatalf("Explain metrics %+v differ from Run %+v", rep.Metrics, m)
+	}
+	if len(rep.Nodes) != 3 {
+		t.Fatalf("report has %d nodes, want 3", len(rep.Nodes))
+	}
+	for _, n := range rep.Nodes {
+		if n.TrueRows <= 0 || n.DOP < 1 {
+			t.Fatalf("bad node report: %+v", n)
+		}
+	}
+	// The scan's mis-estimate reflects the day's drift from the stale
+	// BaseRows statistic.
+	scan := rep.Nodes[len(rep.Nodes)-1]
+	if scan.Op != plan.PhysExtract {
+		t.Fatalf("last pre-order node is %v", scan.Op)
+	}
+	if scan.MisestimateX == 1 {
+		t.Fatal("scan mis-estimate exactly 1; daily drift missing")
+	}
+	s := rep.String()
+	if !strings.Contains(s, "Extract") || !strings.Contains(s, "runtime") {
+		t.Fatalf("report rendering incomplete:\n%s", s)
+	}
+}

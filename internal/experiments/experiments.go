@@ -1,0 +1,294 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated stack. Each experiment returns a structured
+// result with a Render method that prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator at
+// 1:100 scale, not Cosmos clusters); the reproduction targets are the
+// *shapes*: who wins, by roughly what factor, and where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"steerq/internal/abtest"
+	"steerq/internal/bitvec"
+	"steerq/internal/cost"
+	"steerq/internal/exec"
+	"steerq/internal/rules"
+	"steerq/internal/steering"
+	"steerq/internal/workload"
+	"steerq/internal/xrand"
+)
+
+// Config parameterizes a full experiment run.
+type Config struct {
+	// Seed roots all randomness.
+	Seed uint64
+	// Scale multiplies the paper's workload sizes (default 0.01 = 1:100).
+	Scale float64
+	// Candidates is M, the recompiled configurations per analyzed job
+	// (the paper uses up to 1000; the default here is 300).
+	Candidates int
+	// ExecutePerJob is the number of alternatives executed per selected
+	// job (10 in the paper).
+	ExecutePerJob int
+	// SampleFrac is the fraction of long-running jobs the pipeline
+	// analyzes (the paper samples 10-20%).
+	SampleFrac float64
+	// LongJobFloor/LongJobCeil bound "long-running" in seconds (the paper
+	// filters to five minutes..one hour, §5.3).
+	LongJobFloor, LongJobCeil float64
+	// LearnMinGroup and LearnMinMedianSec gate which rule-signature job
+	// groups the learning experiment (§7) trains on: a group needs enough
+	// members for a 40/20/40 split and jobs long enough to be worth
+	// optimizing.
+	LearnMinGroup     int
+	LearnMinMedianSec float64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              2021,
+		Scale:             0.01,
+		Candidates:        300,
+		ExecutePerJob:     10,
+		SampleFrac:        0.15,
+		LongJobFloor:      300,
+		LongJobCeil:       3600,
+		LearnMinGroup:     30,
+		LearnMinMedianSec: 60,
+	}
+}
+
+// Runner caches workloads, harnesses and executed days across experiments so
+// a full suite reuses work.
+type Runner struct {
+	Cfg Config
+
+	workloads map[string]*workload.Workload
+	harnesses map[string]*abtest.Harness
+	days      map[string]map[int][]*workload.Job
+	defaults  map[string]map[string]abtest.Trial // per workload: jobID -> default trial
+	analyses  map[string]map[string]*steering.Analysis
+}
+
+// NewRunner builds a Runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Scale == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Runner{
+		Cfg:       cfg,
+		workloads: make(map[string]*workload.Workload),
+		harnesses: make(map[string]*abtest.Harness),
+		days:      make(map[string]map[int][]*workload.Job),
+		defaults:  make(map[string]map[string]abtest.Trial),
+		analyses:  make(map[string]map[string]*steering.Analysis),
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Cfg.Log != nil {
+		fmt.Fprintf(r.Cfg.Log, format+"\n", args...)
+	}
+}
+
+// Workload returns (building once) the named workload.
+func (r *Runner) Workload(name string) *workload.Workload {
+	if w, ok := r.workloads[name]; ok {
+		return w
+	}
+	var p workload.Profile
+	switch name {
+	case "A":
+		p = workload.ProfileA(r.Cfg.Scale, r.Cfg.Seed)
+	case "B":
+		p = workload.ProfileB(r.Cfg.Scale, r.Cfg.Seed)
+	case "C":
+		p = workload.ProfileC(r.Cfg.Scale, r.Cfg.Seed)
+	default:
+		panic("experiments: unknown workload " + name)
+	}
+	w := workload.Generate(p)
+	r.workloads[name] = w
+	return w
+}
+
+// Harness returns the A/B harness for a workload.
+func (r *Runner) Harness(name string) *abtest.Harness {
+	if h, ok := r.harnesses[name]; ok {
+		return h
+	}
+	w := r.Workload(name)
+	opt := rules.NewOptimizer(cost.NewEstimated(w.Cat))
+	h := abtest.New(w.Cat, opt, r.Cfg.Seed+1)
+	r.harnesses[name] = h
+	return h
+}
+
+// Executor exposes the harness executor (for distribution experiments).
+func (r *Runner) Executor(name string) *exec.Executor { return r.Harness(name).Executor }
+
+// Day returns (generating once) the jobs of one day.
+func (r *Runner) Day(name string, day int) []*workload.Job {
+	if r.days[name] == nil {
+		r.days[name] = make(map[int][]*workload.Job)
+	}
+	if jobs, ok := r.days[name][day]; ok {
+		return jobs
+	}
+	jobs := r.Workload(name).Day(day)
+	r.days[name][day] = jobs
+	return jobs
+}
+
+// DefaultTrial compiles and executes a job under the default configuration,
+// memoized per job ID.
+func (r *Runner) DefaultTrial(name string, j *workload.Job) abtest.Trial {
+	if r.defaults[name] == nil {
+		r.defaults[name] = make(map[string]abtest.Trial)
+	}
+	if t, ok := r.defaults[name][j.ID]; ok {
+		return t
+	}
+	h := r.Harness(name)
+	t := h.RunConfig(j.Root, h.Opt.Rules.DefaultConfig(), j.Day, j.ID+"/default")
+	r.defaults[name][j.ID] = t
+	return t
+}
+
+// Pipeline returns a configured discovery pipeline for a workload.
+func (r *Runner) Pipeline(name string) *steering.Pipeline {
+	p := steering.NewPipeline(r.Harness(name), xrand.New(r.Cfg.Seed).Derive("pipeline", name))
+	p.MaxCandidates = r.Cfg.Candidates
+	p.ExecutePerJob = r.Cfg.ExecutePerJob
+	return p
+}
+
+// LongJobs returns day-0 jobs whose default runtime falls inside the
+// long-running window, with their default trials.
+func (r *Runner) LongJobs(name string, day int) []*workload.Job {
+	var out []*workload.Job
+	for _, j := range r.Day(name, day) {
+		t := r.DefaultTrial(name, j)
+		if t.Err != nil {
+			continue
+		}
+		rt := t.Metrics.RuntimeSec
+		if rt >= r.Cfg.LongJobFloor && rt <= r.Cfg.LongJobCeil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// AnalyzedJobs runs (and caches) the discovery pipeline over a sample of a
+// day's long-running jobs — the shared substrate of Table 3/4 and Figures
+// 6/7.
+func (r *Runner) AnalyzedJobs(name string, day int) []*steering.Analysis {
+	if r.analyses[name] == nil {
+		r.analyses[name] = make(map[string]*steering.Analysis)
+	}
+	long := r.LongJobs(name, day)
+	rnd := xrand.New(r.Cfg.Seed).Derive("select", name, fmt.Sprint(day))
+	n := int(float64(len(long)) * r.Cfg.SampleFrac)
+	if n < 24 {
+		n = min(24, len(long))
+	}
+	idx := rnd.Sample(len(long), n)
+	sort.Ints(idx)
+	p := r.Pipeline(name)
+	var out []*steering.Analysis
+	for _, i := range idx {
+		j := long[i]
+		if a, ok := r.analyses[name][j.ID]; ok {
+			out = append(out, a)
+			continue
+		}
+		a, err := p.Analyze(j)
+		if err != nil {
+			r.logf("analyze %s: %v", j.ID, err)
+			continue
+		}
+		r.analyses[name][j.ID] = a
+		out = append(out, a)
+		r.logf("analyzed %s: span=%d candidates=%d", j.ID, a.Span.Count(), len(a.Candidates))
+	}
+	return out
+}
+
+// UniqueSignatures counts distinct default rule signatures over jobs.
+func (r *Runner) UniqueSignatures(name string, jobs []*workload.Job) (int, error) {
+	g := steering.NewGrouper(r.Harness(name))
+	groups, err := g.Group(jobs)
+	if err != nil {
+		return 0, err
+	}
+	return len(groups), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Histogram is a generic bucketed count used by the figure renderers.
+type Histogram struct {
+	Label   string
+	Edges   []float64 // len = buckets+1
+	Counts  []int
+	Total   int
+	LogEdge bool
+}
+
+// NewHistogram buckets values into the given edges.
+func NewHistogram(label string, edges []float64, values []float64) Histogram {
+	h := Histogram{Label: label, Edges: edges, Counts: make([]int, len(edges)-1)}
+	for _, v := range values {
+		for b := 0; b < len(edges)-1; b++ {
+			if v >= edges[b] && (v < edges[b+1] || b == len(edges)-2) {
+				h.Counts[b]++
+				break
+			}
+		}
+		h.Total++
+	}
+	return h
+}
+
+// Render prints the histogram as rows with ASCII bars.
+func (h Histogram) Render(w io.Writer) {
+	maxN := 1
+	for _, c := range h.Counts {
+		if c > maxN {
+			maxN = c
+		}
+	}
+	for b := 0; b < len(h.Counts); b++ {
+		bar := barString(h.Counts[b], maxN, 40)
+		fmt.Fprintf(w, "  [%10.4g, %10.4g) %6d %s\n", h.Edges[b], h.Edges[b+1], h.Counts[b], bar)
+	}
+}
+
+func barString(n, maxN, width int) string {
+	if maxN <= 0 {
+		return ""
+	}
+	k := n * width / maxN
+	out := make([]byte, k)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// signatureKey formats a signature for map keys in experiment code.
+func signatureKey(v bitvec.Vector) bitvec.Key { return v.Key() }

@@ -1,0 +1,213 @@
+// Package feature builds the model input vectors of §7.2. A SCOPE job is a
+// large DAG with opaque user code, so the paper featurizes three groups of
+// signals rather than the graph itself:
+//
+//  1. job-level features — estimated input size, a hash of the inputs, a
+//     hash of the query template;
+//  2. rule-configuration features — per candidate configuration, the
+//     estimated plan cost and the RuleDiff bit vector against the default;
+//  3. query-graph features — one slot per operator type with its occurrence
+//     count and average estimated cost and cardinality.
+//
+// Continuous features are min-max normalized to [0, 1]; low-cardinality
+// categoricals are one-hot encoded; large-alphabet categoricals (input and
+// template hashes) are deterministically hashed into 50 bins.
+package feature
+
+import (
+	"math"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/plan"
+)
+
+// HashBins is the number of buckets used for large-alphabet categorical
+// features (§7.2 uses 50).
+const HashBins = 50
+
+// OpStat summarizes one operator type's occurrences in the default plan.
+type OpStat struct {
+	Count   int
+	AvgCost float64
+	AvgRows float64
+}
+
+// JobFeatures carries everything the encoder needs about one (job, candidate
+// set) pair.
+type JobFeatures struct {
+	// InputBytes is the estimated total input size.
+	InputBytes float64
+	// InputsHash and TemplateHash identify inputs and template.
+	InputsHash   uint64
+	TemplateHash uint64
+	// OpStats indexes operator statistics by physical operator.
+	OpStats map[plan.PhysOp]OpStat
+	// EstCosts[k] is the estimated plan cost under candidate k.
+	EstCosts []float64
+	// Diffs[k] is the RuleDiff bit vector of candidate k vs the default.
+	Diffs []bitvec.Vector
+	// Valid[k] marks candidates that compiled.
+	Valid []bool
+}
+
+// Encoder turns JobFeatures into fixed-width vectors. Build it with Fit over
+// the training set so min-max ranges and the relevant rule-diff bits are
+// learned from training data only.
+type Encoder struct {
+	K       int           `json:"k"`        // candidate configurations per job group
+	Ops     []plan.PhysOp `json:"ops"`      // operator slots, fixed order
+	DiffIDs []int         `json:"diff_ids"` // rule IDs observed in any training diff
+	// Ranges holds the min-max normalization bounds per feature key,
+	// exported so trained encoders serialize with their models.
+	Ranges map[string][2]float64 `json:"ranges"`
+}
+
+// trackedOps is the fixed operator-slot order.
+var trackedOps = []plan.PhysOp{
+	plan.PhysExtract, plan.PhysRangeScan, plan.PhysFilter, plan.PhysCompute,
+	plan.PhysHashJoin, plan.PhysHashJoinAlt, plan.PhysMergeJoin, plan.PhysLoopJoin,
+	plan.PhysHashAgg, plan.PhysStreamAgg, plan.PhysPartialHashAgg, plan.PhysFinalHashAgg,
+	plan.PhysUnionMerge, plan.PhysVirtualDataset, plan.PhysProcessImpl, plan.PhysReduceImpl,
+	plan.PhysLocalTop, plan.PhysGlobalTop, plan.PhysSort, plan.PhysExchange,
+	plan.PhysOutputImpl,
+}
+
+// Fit learns normalization ranges and the diff vocabulary from training
+// examples.
+func Fit(train []JobFeatures, k int) *Encoder {
+	e := &Encoder{K: k, Ops: trackedOps, Ranges: make(map[string][2]float64)}
+	diffSet := make(map[int]bool)
+	upd := func(key string, v float64) {
+		r, ok := e.Ranges[key]
+		if !ok {
+			e.Ranges[key] = [2]float64{v, v}
+			return
+		}
+		if v < r[0] {
+			r[0] = v
+		}
+		if v > r[1] {
+			r[1] = v
+		}
+		e.Ranges[key] = r
+	}
+	for _, f := range train {
+		upd("inputBytes", logScale(f.InputBytes))
+		for _, op := range e.Ops {
+			s := f.OpStats[op]
+			upd("count:"+op.String(), float64(s.Count))
+			upd("cost:"+op.String(), logScale(s.AvgCost))
+			upd("rows:"+op.String(), logScale(s.AvgRows))
+		}
+		for ki := 0; ki < k && ki < len(f.EstCosts); ki++ {
+			upd("estCost", logScale(f.EstCosts[ki]))
+			for _, id := range f.Diffs[ki].Ones() {
+				diffSet[id] = true
+			}
+		}
+	}
+	for id := 0; id < bitvec.Width; id++ {
+		if diffSet[id] {
+			e.DiffIDs = append(e.DiffIDs, id)
+		}
+	}
+	return e
+}
+
+func logScale(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log1p(v)
+}
+
+func (e *Encoder) norm(key string, v float64) float64 {
+	r, ok := e.Ranges[key]
+	if !ok || r[1] <= r[0] {
+		return 0
+	}
+	x := (v - r[0]) / (r[1] - r[0])
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Width returns the encoded vector length.
+func (e *Encoder) Width() int {
+	return 1 + // input bytes
+		2*HashBins + // inputs hash, template hash
+		3*len(e.Ops) + // per-op count/cost/rows
+		e.K*(1+1+len(e.DiffIDs)) // per-candidate: valid, est cost, diff bits
+}
+
+// Encode builds the input vector for one job.
+func (e *Encoder) Encode(f JobFeatures) []float64 {
+	x := make([]float64, 0, e.Width())
+	x = append(x, e.norm("inputBytes", logScale(f.InputBytes)))
+
+	inBins := make([]float64, HashBins)
+	inBins[int(f.InputsHash%HashBins)] = 1
+	x = append(x, inBins...)
+	tBins := make([]float64, HashBins)
+	tBins[int(f.TemplateHash%HashBins)] = 1
+	x = append(x, tBins...)
+
+	for _, op := range e.Ops {
+		s := f.OpStats[op]
+		x = append(x,
+			e.norm("count:"+op.String(), float64(s.Count)),
+			e.norm("cost:"+op.String(), logScale(s.AvgCost)),
+			e.norm("rows:"+op.String(), logScale(s.AvgRows)),
+		)
+	}
+
+	for ki := 0; ki < e.K; ki++ {
+		valid := ki < len(f.EstCosts) && (f.Valid == nil || f.Valid[ki])
+		if !valid {
+			x = append(x, 0, 0)
+			x = append(x, make([]float64, len(e.DiffIDs))...)
+			continue
+		}
+		x = append(x, 1, e.norm("estCost", logScale(f.EstCosts[ki])))
+		bits := make([]float64, len(e.DiffIDs))
+		for bi, id := range e.DiffIDs {
+			if f.Diffs[ki].Get(id) {
+				bits[bi] = 1
+			}
+		}
+		x = append(x, bits...)
+	}
+	return x
+}
+
+// PlanOpStats extracts the per-operator statistics of a physical plan.
+func PlanOpStats(p *plan.PhysNode) map[plan.PhysOp]OpStat {
+	type acc struct {
+		n          int
+		cost, rows float64
+	}
+	accs := make(map[plan.PhysOp]*acc)
+	p.Walk(func(n *plan.PhysNode) {
+		a := accs[n.Op]
+		if a == nil {
+			a = &acc{}
+			accs[n.Op] = a
+		}
+		a.n++
+		a.cost += n.EstCost
+		a.rows += n.EstRows
+	})
+	out := make(map[plan.PhysOp]OpStat, len(accs))
+	for op, a := range accs {
+		out[op] = OpStat{
+			Count:   a.n,
+			AvgCost: a.cost / float64(a.n),
+			AvgRows: a.rows / float64(a.n),
+		}
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+// Package nn implements the lightweight learned model of §7.3: a fully
+// connected neural network with one hidden layer, trained with the
+// binary-cross-entropy-on-normalized-runtimes loss the paper uses instead of
+// mean squared error ("we really only care about choosing the fastest
+// configuration").
+//
+// Only the standard library is used; the math is plain float64 slices.
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"steerq/internal/xrand"
+)
+
+// Network is a 1-hidden-layer MLP with ReLU activation and sigmoid outputs.
+// Outputs estimate normalized runtimes in [0, 1], one per candidate
+// configuration.
+type Network struct {
+	In, Hidden, Out int
+
+	// W1 [Hidden][In], B1 [Hidden], W2 [Out][Hidden], B2 [Out].
+	W1 [][]float64 `json:"w1"`
+	B1 []float64   `json:"b1"`
+	W2 [][]float64 `json:"w2"`
+	B2 []float64   `json:"b2"`
+}
+
+// New builds a network with He-initialized weights, deterministic in r.
+func New(in, hidden, out int, r *xrand.Source) *Network {
+	n := &Network{In: in, Hidden: hidden, Out: out}
+	scale1 := math.Sqrt(2 / float64(in))
+	scale2 := math.Sqrt(2 / float64(hidden))
+	n.W1 = make([][]float64, hidden)
+	for h := range n.W1 {
+		n.W1[h] = make([]float64, in)
+		for i := range n.W1[h] {
+			n.W1[h][i] = r.Norm(0, scale1)
+		}
+	}
+	n.B1 = make([]float64, hidden)
+	n.W2 = make([][]float64, out)
+	for o := range n.W2 {
+		n.W2[o] = make([]float64, hidden)
+		for h := range n.W2[o] {
+			n.W2[o][h] = r.Norm(0, scale2)
+		}
+	}
+	n.B2 = make([]float64, out)
+	return n
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward computes the network output for one input vector.
+func (n *Network) Forward(x []float64) []float64 {
+	h, out := n.forward(x)
+	_ = h
+	return out
+}
+
+func (n *Network) forward(x []float64) (hidden, out []float64) {
+	hidden = make([]float64, n.Hidden)
+	for h := range hidden {
+		s := n.B1[h]
+		w := n.W1[h]
+		for i, xi := range x {
+			s += w[i] * xi
+		}
+		if s > 0 {
+			hidden[h] = s
+		}
+	}
+	out = make([]float64, n.Out)
+	for o := range out {
+		s := n.B2[o]
+		w := n.W2[o]
+		for h, hv := range hidden {
+			s += w[h] * hv
+		}
+		out[o] = sigmoid(s)
+	}
+	return hidden, out
+}
+
+// Sample is one training example: an input vector and per-output normalized
+// targets in [0, 1] with a mask of valid outputs (a job group may have fewer
+// valid configurations for some jobs, e.g. compile failures).
+type Sample struct {
+	X      []float64
+	Y      []float64
+	Mask   []bool
+	Weight float64
+}
+
+// BCELoss is the continuous binary cross entropy over masked outputs:
+// -(y log p + (1-y) log(1-p)), averaged.
+func (n *Network) BCELoss(samples []Sample) float64 {
+	var total float64
+	var count int
+	for _, s := range samples {
+		out := n.Forward(s.X)
+		for o, p := range out {
+			if s.Mask != nil && !s.Mask[o] {
+				continue
+			}
+			total += bce(s.Y[o], p)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func bce(y, p float64) float64 {
+	const eps = 1e-7
+	p = math.Min(math.Max(p, eps), 1-eps)
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
+// TrainConfig parameterizes Adam training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// L2 is weight decay.
+	L2 float64
+}
+
+// DefaultTrainConfig mirrors the paper's "takes a minute to train" setup at
+// simulator scale.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 200, BatchSize: 16, LR: 1e-3, L2: 1e-5}
+}
+
+// adam state per parameter matrix.
+type adamState struct {
+	m, v [][]float64
+}
+
+func newAdamState(shape [][]float64) *adamState {
+	s := &adamState{m: make([][]float64, len(shape)), v: make([][]float64, len(shape))}
+	for i := range shape {
+		s.m[i] = make([]float64, len(shape[i]))
+		s.v[i] = make([]float64, len(shape[i]))
+	}
+	return s
+}
+
+// Train fits the network with Adam on the BCE loss. Deterministic in r.
+// It returns the final training loss.
+func (n *Network) Train(samples []Sample, cfg TrainConfig, r *xrand.Source) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if cfg.Epochs == 0 {
+		cfg = DefaultTrainConfig()
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	sw1 := newAdamState(n.W1)
+	sw2 := newAdamState(n.W2)
+	sb1 := newAdamState([][]float64{n.B1})
+	sb2 := newAdamState([][]float64{n.B2})
+	step := 0
+
+	gw1 := make([][]float64, n.Hidden)
+	for h := range gw1 {
+		gw1[h] = make([]float64, n.In)
+	}
+	gw2 := make([][]float64, n.Out)
+	for o := range gw2 {
+		gw2[o] = make([]float64, n.Hidden)
+	}
+	gb1 := make([]float64, n.Hidden)
+	gb2 := make([]float64, n.Out)
+
+	zero := func() {
+		for h := range gw1 {
+			for i := range gw1[h] {
+				gw1[h][i] = 0
+			}
+			gb1[h] = 0
+		}
+		for o := range gw2 {
+			for h := range gw2[o] {
+				gw2[o][h] = 0
+			}
+			gb2[o] = 0
+		}
+	}
+
+	applyAdam := func(w []float64, g []float64, m, v []float64, lr float64) {
+		t := float64(step)
+		for i := range w {
+			gi := g[i] + cfg.L2*w[i]
+			m[i] = beta1*m[i] + (1-beta1)*gi
+			v[i] = beta2*v[i] + (1-beta2)*gi*gi
+			mh := m[i] / (1 - math.Pow(beta1, t))
+			vh := v[i] / (1 - math.Pow(beta2, t))
+			w[i] -= lr * mh / (math.Sqrt(vh) + eps)
+		}
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := r.Perm(len(samples))
+		var epochLoss float64
+		var epochCount int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			zero()
+			batchN := 0
+			for _, si := range order[start:end] {
+				s := samples[si]
+				hidden, out := n.forward(s.X)
+				// dL/dz2 for sigmoid+BCE is (p - y).
+				dz2 := make([]float64, n.Out)
+				for o, p := range out {
+					if s.Mask != nil && !s.Mask[o] {
+						continue
+					}
+					dz2[o] = p - s.Y[o]
+					epochLoss += bce(s.Y[o], p)
+					epochCount++
+				}
+				for o := range dz2 {
+					if dz2[o] == 0 {
+						continue
+					}
+					gb2[o] += dz2[o]
+					for h, hv := range hidden {
+						gw2[o][h] += dz2[o] * hv
+					}
+				}
+				// Backprop to hidden (ReLU).
+				for h, hv := range hidden {
+					if hv <= 0 {
+						continue
+					}
+					var dh float64
+					for o := range dz2 {
+						dh += dz2[o] * n.W2[o][h]
+					}
+					if dh == 0 {
+						continue
+					}
+					gb1[h] += dh
+					for i, xi := range s.X {
+						if xi != 0 {
+							gw1[h][i] += dh * xi
+						}
+					}
+				}
+				batchN++
+			}
+			if batchN == 0 {
+				continue
+			}
+			inv := 1 / float64(batchN)
+			for h := range gw1 {
+				for i := range gw1[h] {
+					gw1[h][i] *= inv
+				}
+				gb1[h] *= inv
+			}
+			for o := range gw2 {
+				for h := range gw2[o] {
+					gw2[o][h] *= inv
+				}
+				gb2[o] *= inv
+			}
+			step++
+			for h := range n.W1 {
+				applyAdam(n.W1[h], gw1[h], sw1.m[h], sw1.v[h], cfg.LR)
+			}
+			applyAdam(n.B1, gb1, sb1.m[0], sb1.v[0], cfg.LR)
+			for o := range n.W2 {
+				applyAdam(n.W2[o], gw2[o], sw2.m[o], sw2.v[o], cfg.LR)
+			}
+			applyAdam(n.B2, gb2, sb2.m[0], sb2.v[0], cfg.LR)
+		}
+		if epochCount > 0 {
+			lastLoss = epochLoss / float64(epochCount)
+		}
+	}
+	return lastLoss
+}
+
+// Marshal serializes the network to JSON (the models are ~small at simulator
+// scale; the paper's are ~30 MB).
+func (n *Network) Marshal() ([]byte, error) { return json.Marshal(n) }
+
+// Unmarshal restores a network serialized by Marshal.
+func Unmarshal(data []byte) (*Network, error) {
+	var n Network
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("nn: unmarshal: %w", err)
+	}
+	if len(n.W1) != n.Hidden || len(n.W2) != n.Out {
+		return nil, fmt.Errorf("nn: unmarshal: inconsistent shapes")
+	}
+	return &n, nil
+}

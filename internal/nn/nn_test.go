@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"steerq/internal/xrand"
+)
+
+func TestForwardShapesAndRange(t *testing.T) {
+	n := New(4, 8, 3, xrand.New(1))
+	out := n.Forward([]float64{0.1, 0.5, 0.9, 0})
+	if len(out) != 3 {
+		t.Fatalf("output width %d", len(out))
+	}
+	for _, v := range out {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output %v outside (0,1)", v)
+		}
+	}
+}
+
+func TestForwardOutputsBounded(t *testing.T) {
+	n := New(6, 16, 4, xrand.New(2))
+	f := func(raw [6]float64) bool {
+		x := make([]float64, 6)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = math.Mod(v, 10)
+		}
+		for _, v := range n.Forward(x) {
+			// Sigmoid outputs live in (0, 1) mathematically but round to
+			// the closed interval in float64 for extreme activations.
+			if !(v >= 0 && v <= 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(4, 8, 2, xrand.New(7))
+	b := New(4, 8, 2, xrand.New(7))
+	x := []float64{1, 0, 0.5, 0.2}
+	oa := a.Forward(x)
+	ob := b.Forward(x)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("same seed, different networks")
+		}
+	}
+}
+
+// rankingTask builds samples where the correct arm is determined by the
+// first feature: x[0] < 0.5 means arm 0 is fastest, otherwise arm 1.
+func rankingTask(n int, r *xrand.Source) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		y := []float64{0, 1}
+		if x[0] >= 0.5 {
+			y = []float64{1, 0}
+		}
+		out = append(out, Sample{X: x, Y: y})
+	}
+	return out
+}
+
+func TestTrainingLearnsRanking(t *testing.T) {
+	r := xrand.New(11)
+	train := rankingTask(200, r.Derive("train"))
+	test := rankingTask(100, r.Derive("test"))
+
+	net := New(2, 16, 2, r.Derive("init"))
+	before := net.BCELoss(test)
+	cfg := TrainConfig{Epochs: 120, BatchSize: 16, LR: 5e-3}
+	net.Train(train, cfg, r.Derive("sgd"))
+	after := net.BCELoss(test)
+	if after >= before {
+		t.Fatalf("training did not reduce loss: %v -> %v", before, after)
+	}
+	// The argmin choice must be right most of the time.
+	correct := 0
+	for _, s := range test {
+		out := net.Forward(s.X)
+		pred := 0
+		if out[1] < out[0] {
+			pred = 1
+		}
+		truth := 0
+		if s.Y[1] < s.Y[0] {
+			truth = 1
+		}
+		if pred == truth {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(test)); frac < 0.85 {
+		t.Fatalf("ranking accuracy %.2f after training", frac)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	r1 := xrand.New(13)
+	net1 := New(2, 8, 2, r1.Derive("init"))
+	net1.Train(rankingTask(50, r1.Derive("data")), TrainConfig{Epochs: 10, BatchSize: 8, LR: 1e-2}, r1.Derive("sgd"))
+
+	r2 := xrand.New(13)
+	net2 := New(2, 8, 2, r2.Derive("init"))
+	net2.Train(rankingTask(50, r2.Derive("data")), TrainConfig{Epochs: 10, BatchSize: 8, LR: 1e-2}, r2.Derive("sgd"))
+
+	x := []float64{0.3, 0.7}
+	o1, o2 := net1.Forward(x), net2.Forward(x)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestMaskSkipsOutputs(t *testing.T) {
+	r := xrand.New(17)
+	net := New(2, 8, 3, r.Derive("init"))
+	// Arm 2 is masked everywhere; training must still work on arms 0-1.
+	samples := []Sample{
+		{X: []float64{0.1, 0.2}, Y: []float64{0, 1, 0}, Mask: []bool{true, true, false}},
+		{X: []float64{0.9, 0.2}, Y: []float64{1, 0, 0}, Mask: []bool{true, true, false}},
+	}
+	loss := net.Train(samples, TrainConfig{Epochs: 50, BatchSize: 2, LR: 1e-2}, r.Derive("sgd"))
+	if math.IsNaN(loss) {
+		t.Fatal("masked training produced NaN loss")
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	net := New(2, 4, 2, xrand.New(1))
+	if got := net.Train(nil, TrainConfig{Epochs: 5, BatchSize: 4, LR: 1e-3}, xrand.New(2)); got != 0 {
+		t.Fatalf("empty training returned loss %v", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	r := xrand.New(19)
+	net := New(3, 8, 2, r)
+	data, err := net.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	a, b := net.Forward(x), got.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("round-tripped network differs")
+		}
+	}
+	if _, err := Unmarshal([]byte("{bad")); err == nil {
+		t.Fatal("Unmarshal accepted garbage")
+	}
+}

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders a physical plan as a Graphviz digraph: one box per
+// operator annotated with its distribution, estimated rows and local cost;
+// shared DAG nodes render once with multiple in-edges. Pipe the output
+// through `dot -Tsvg` to visualize a steered plan next to its default.
+func WriteDOT(w io.Writer, name string, root *PhysNode) error {
+	if root == nil {
+		return fmt.Errorf("plan: WriteDOT: nil plan")
+	}
+	ids := make(map[*PhysNode]int)
+	var nodes []*PhysNode
+	root.Walk(func(n *PhysNode) {
+		ids[n] = len(nodes)
+		nodes = append(nodes, n)
+	})
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		label := dotLabel(n)
+		style := ""
+		if n.Op == PhysExchange {
+			style = ", style=dashed"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q%s];\n", ids[n], label, style); err != nil {
+			return err
+		}
+	}
+	for _, n := range nodes {
+		for _, c := range n.Children {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", ids[c], ids[n]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func dotLabel(n *PhysNode) string {
+	var b strings.Builder
+	b.WriteString(n.Op.String())
+	switch n.Op {
+	case PhysExtract, PhysRangeScan:
+		fmt.Fprintf(&b, "\n%s", n.Table)
+	case PhysExchange:
+		fmt.Fprintf(&b, "\n%s", n.Exchange)
+	case PhysProcessImpl, PhysReduceImpl:
+		fmt.Fprintf(&b, "\n%s", n.Processor)
+	case PhysOutputImpl:
+		fmt.Fprintf(&b, "\n%s", n.OutputPath)
+	}
+	fmt.Fprintf(&b, "\n%s | rows=%.3g | cost=%.2f", n.Dist, n.EstRows, n.EstCost)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// TemplateHash computes the recurring-template identifier of a logical plan.
+//
+// Per §3.1.1, recurring jobs belonging to the same template are identified by
+// "discarding all variable values (e.g., predicate filters) and computing the
+// hash of the remaining information in the query graph". Literal constants
+// are therefore excluded, while operator structure, column names, input
+// stream names, UDO names and aggregate functions are included — which is why
+// "even small differences in a job, such as a single different input name,
+// will lead to different recurring template identifiers" (§6.4).
+func TemplateHash(n *Node) uint64 {
+	h := fnv.New64a()
+	hashNode(h, n, false)
+	return h.Sum64()
+}
+
+// InstanceHash is like TemplateHash but includes literal constants, so two
+// instances of the same template with different predicate values hash
+// differently.
+func InstanceHash(n *Node) uint64 {
+	h := fnv.New64a()
+	hashNode(h, n, true)
+	return h.Sum64()
+}
+
+// InputsHash identifies the set of input streams a job reads. Table 1 counts
+// "# Unique Inputs" per workload using this notion.
+func InputsHash(n *Node) uint64 {
+	h := fnv.New64a()
+	for _, in := range n.Inputs() {
+		io.WriteString(h, in)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func hashNode(h io.Writer, n *Node, withLiterals bool) {
+	// Walk the DAG in a canonical order. Shared nodes are hashed at each
+	// occurrence; identity sharing does not change the template.
+	fmt.Fprintf(h, "op:%d;", n.Op)
+	switch n.Op {
+	case OpGet:
+		io.WriteString(h, n.Table)
+	case OpSelect, OpJoin:
+		hashExpr(h, n.Pred, withLiterals)
+	case OpProject:
+		for _, p := range n.Projs {
+			io.WriteString(h, p.Out.Name)
+			hashExpr(h, p.Expr, withLiterals)
+		}
+	case OpGroupBy:
+		for _, k := range n.GroupKeys {
+			io.WriteString(h, k.Name)
+		}
+		for _, a := range n.Aggs {
+			io.WriteString(h, a.Fn)
+			hashExpr(h, a.Arg, withLiterals)
+			io.WriteString(h, a.Out.Name)
+		}
+	case OpProcess:
+		io.WriteString(h, n.Processor)
+	case OpReduce:
+		io.WriteString(h, n.Processor)
+		for _, k := range n.ReduceKeys {
+			io.WriteString(h, k.Name)
+		}
+	case OpTop:
+		// TopN count is structural, not a variable predicate value.
+		fmt.Fprintf(h, "n:%d;", n.TopN)
+		for _, k := range n.SortKeys {
+			io.WriteString(h, k.Col.Name)
+			fmt.Fprintf(h, "d:%t;", k.Desc)
+		}
+	case OpOutput:
+		io.WriteString(h, n.OutputPath)
+	}
+	fmt.Fprintf(h, "#%d(", len(n.Children))
+	for _, c := range n.Children {
+		hashNode(h, c, withLiterals)
+		io.WriteString(h, ",")
+	}
+	io.WriteString(h, ")")
+}
+
+func hashExpr(h io.Writer, e *Expr, withLiterals bool) {
+	if e == nil {
+		io.WriteString(h, "~")
+		return
+	}
+	fmt.Fprintf(h, "e:%d;", e.Kind)
+	switch e.Kind {
+	case ExprColumn:
+		io.WriteString(h, e.Col.Name)
+		io.WriteString(h, "|")
+		io.WriteString(h, e.Col.Source)
+	case ExprConst:
+		if withLiterals {
+			io.WriteString(h, e.Lit.String())
+		} else {
+			io.WriteString(h, "?") // variable value discarded
+		}
+	case ExprCmp, ExprArith:
+		fmt.Fprintf(h, "o:%d;", e.Op)
+	case ExprFunc:
+		io.WriteString(h, e.Fn)
+	}
+	for _, a := range e.Args {
+		hashExpr(h, a, withLiterals)
+	}
+}

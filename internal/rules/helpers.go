@@ -1,0 +1,150 @@
+package rules
+
+import (
+	"steerq/internal/cascades"
+	"steerq/internal/plan"
+)
+
+// info is a shared Info() implementation.
+type info cascades.RuleInfo
+
+func (i info) Info() cascades.RuleInfo { return cascades.RuleInfo(i) }
+
+// schemaSet returns the column-ID set of a group's canonical schema.
+func schemaSet(g *cascades.Group) map[plan.ColumnID]bool {
+	set := make(map[plan.ColumnID]bool, len(g.Schema))
+	for _, c := range g.Schema {
+		set[c.ID] = true
+	}
+	return set
+}
+
+// exprsWithOp returns the expressions of g whose operator is op.
+func exprsWithOp(g *cascades.Group, op plan.Op) []*cascades.MExpr {
+	var out []*cascades.MExpr
+	for _, e := range g.Exprs {
+		if e.Node.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// positionalMap maps column IDs of `from` to the same-position columns of
+// `to`; ok is false on arity mismatch.
+func positionalMap(from, to []plan.Column) (map[plan.ColumnID]plan.Column, bool) {
+	if len(from) != len(to) {
+		return nil, false
+	}
+	m := make(map[plan.ColumnID]plan.Column, len(from))
+	for i := range from {
+		m[from[i].ID] = to[i]
+	}
+	return m, true
+}
+
+// remapExpr rewrites column references of e through m. ok is false when a
+// referenced column is missing from m and from keep (columns allowed to pass
+// unmapped).
+func remapExpr(e *plan.Expr, m map[plan.ColumnID]plan.Column, keep map[plan.ColumnID]bool) (*plan.Expr, bool) {
+	if e == nil {
+		return nil, true
+	}
+	if e.Kind == plan.ExprColumn {
+		if c, ok := m[e.Col.ID]; ok {
+			return plan.ColExpr(c), true
+		}
+		if keep != nil && keep[e.Col.ID] {
+			return e, true
+		}
+		return nil, false
+	}
+	cp := *e
+	if len(e.Args) > 0 {
+		cp.Args = make([]*plan.Expr, len(e.Args))
+		for i, a := range e.Args {
+			na, ok := remapExpr(a, m, keep)
+			if !ok {
+				return nil, false
+			}
+			cp.Args[i] = na
+		}
+	}
+	return &cp, true
+}
+
+// remapCols rewrites a column list through m; ok is false on a miss.
+func remapCols(cols []plan.Column, m map[plan.ColumnID]plan.Column) ([]plan.Column, bool) {
+	out := make([]plan.Column, len(cols))
+	for i, c := range cols {
+		nc, ok := m[c.ID]
+		if !ok {
+			return nil, false
+		}
+		out[i] = nc
+	}
+	return out, true
+}
+
+// selNode builds a Select payload over the given schema.
+func selNode(pred *plan.Expr, schema []plan.Column) *plan.Node {
+	return &plan.Node{Op: plan.OpSelect, Pred: pred, Schema: schema}
+}
+
+// alignedUnionBranches returns the child groups of a union expression when
+// the union group's canonical schema positionally matches its first branch
+// (the invariant established by the binder); ok is false otherwise, and the
+// caller should not rewrite through this union.
+func alignedUnionBranches(u *cascades.MExpr) ([]*cascades.Group, bool) {
+	g := u.Group
+	if len(u.Children) == 0 {
+		return nil, false
+	}
+	first := u.Children[0]
+	if len(first.Schema) != len(g.Schema) {
+		return nil, false
+	}
+	for i := range g.Schema {
+		if first.Schema[i].ID != g.Schema[i].ID {
+			return nil, false
+		}
+	}
+	for _, b := range u.Children[1:] {
+		if len(b.Schema) != len(g.Schema) {
+			return nil, false
+		}
+	}
+	return u.Children, true
+}
+
+// mergeAggFn returns the aggregate function that merges partial results of
+// fn (COUNT partials merge by SUM; others are idempotent under re-merge).
+func mergeAggFn(fn string) string {
+	if fn == "COUNT" {
+		return "SUM"
+	}
+	if fn == "AVG" {
+		return "AVG" // modeled: exact AVG merge needs sum+count pairs
+	}
+	return fn
+}
+
+// equiKeys splits the equi-join key columns of pred by side membership.
+// Conjuncts that are not two-sided equi comparisons are ignored.
+func equiKeys(pred *plan.Expr, left, right map[plan.ColumnID]bool) (lk, rk []plan.Column) {
+	for _, c := range plan.Conjuncts(pred) {
+		a, b, ok := c.EquiJoinSides()
+		if !ok {
+			continue
+		}
+		switch {
+		case left[a.ID] && right[b.ID]:
+			lk = append(lk, a)
+			rk = append(rk, b)
+		case left[b.ID] && right[a.ID]:
+			lk = append(lk, b)
+			rk = append(rk, a)
+		}
+	}
+	return lk, rk
+}

@@ -1,0 +1,98 @@
+package rules
+
+import (
+	"testing"
+
+	"steerq/internal/catalog"
+	"steerq/internal/cost"
+	"steerq/internal/scopeql"
+)
+
+// testCatalog builds a small catalog shared by the package tests.
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.AddStream(&catalog.Stream{
+		Name: "shop/orders",
+		Columns: []catalog.Column{
+			{Name: "user_id", Distinct: 50000, TrueDistinct: 48000, Min: 0, Max: 50000, Skew: 1.1},
+			{Name: "amount", Distinct: 10000, TrueDistinct: 9000, Min: 0, Max: 1000},
+			{Name: "region", Distinct: 20, TrueDistinct: 20, Min: 0, Max: 20},
+			{Name: "day_part", Distinct: 4, TrueDistinct: 4, Min: 0, Max: 4},
+		},
+		BaseRows:    5e6,
+		DailySigma:  0.2,
+		BytesPerRow: 120,
+		Correlations: []catalog.Correlation{
+			{A: "region", B: "day_part", Factor: 3.5},
+		},
+		GrowthPerDay: 1.0,
+	})
+	cat.AddStream(&catalog.Stream{
+		Name: "shop/users",
+		Columns: []catalog.Column{
+			{Name: "user_id", Distinct: 50000, TrueDistinct: 48000, Min: 0, Max: 50000},
+			{Name: "segment", Distinct: 8, TrueDistinct: 8, Min: 0, Max: 8},
+			{Name: "score", Distinct: 1000, TrueDistinct: 900, Min: 0, Max: 100},
+		},
+		BaseRows:     50000,
+		DailySigma:   0.05,
+		BytesPerRow:  64,
+		GrowthPerDay: 1.0,
+	})
+	cat.AddStream(&catalog.Stream{
+		Name: "shop/clicks",
+		Columns: []catalog.Column{
+			{Name: "user_id", Distinct: 40000, TrueDistinct: 42000, Min: 0, Max: 50000, Skew: 1.4},
+			{Name: "page", Distinct: 300, TrueDistinct: 310, Min: 0, Max: 300},
+		},
+		BaseRows:     2e7,
+		DailySigma:   0.3,
+		BytesPerRow:  48,
+		GrowthPerDay: 1.0,
+	})
+	cat.AddUDO(&catalog.UDO{Name: "SegmentScorer", EstFactor: 1, TrueFactor: 1.6, CPUPerRow: 3})
+	cat.AddUDO(&catalog.UDO{Name: "Cooker", EstFactor: 1, TrueFactor: 0.4, CPUPerRow: 6})
+	return cat
+}
+
+const smokeScript = `
+filtered = SELECT user_id, region, amount FROM "shop/orders"
+           WHERE amount > 100 AND region == 3 AND day_part == 2;
+joined   = SELECT f.user_id, u.segment, f.amount
+           FROM filtered AS f
+           INNER JOIN "shop/users" AS u ON f.user_id == u.user_id;
+agg      = SELECT segment, SUM(amount) AS total, COUNT(*) AS cnt
+           FROM joined GROUP BY segment;
+cooked   = PROCESS agg USING SegmentScorer;
+OUTPUT cooked TO "out/segment_totals";
+`
+
+func TestOptimizeSmoke(t *testing.T) {
+	cat := testCatalog()
+	root, err := scopeql.Compile(smokeScript, cat)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opt := NewOptimizer(cost.NewEstimated(cat))
+	rs := opt.Rules
+	res, err := opt.Optimize(root, rs.DefaultConfig())
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.Plan == nil || res.Cost <= 0 {
+		t.Fatalf("bad result: plan=%v cost=%v", res.Plan, res.Cost)
+	}
+	if res.Signature.IsEmpty() {
+		t.Fatal("empty rule signature")
+	}
+	t.Logf("cost=%.3f groups=%d exprs=%d sig=%v", res.Cost, res.Groups, res.Exprs, res.Signature)
+	t.Logf("plan:\n%s", res.Plan)
+	for _, id := range res.Signature.Ones() {
+		ri, ok := rs.Info(id)
+		if !ok {
+			t.Errorf("signature references unknown rule %d", id)
+			continue
+		}
+		t.Logf("used rule: %s", ri)
+	}
+}

@@ -1,0 +1,470 @@
+package scopeql
+
+import (
+	"fmt"
+
+	"steerq/internal/catalog"
+	"steerq/internal/plan"
+)
+
+// Bind resolves a parsed script against a catalog and returns the logical
+// plan DAG of the job. Jobs with multiple OUTPUT statements get an OpMulti
+// virtual root; jobs with a single output return the Output node itself.
+func Bind(s *Script, cat *catalog.Catalog) (*plan.Node, error) {
+	b := &binder{cat: cat, vars: make(map[string]*boundVar)}
+	return b.bindScript(s)
+}
+
+// Compile is the convenience path: parse then bind.
+func Compile(src string, cat *catalog.Catalog) (*plan.Node, error) {
+	script, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(script, cat)
+}
+
+type boundVar struct {
+	node *plan.Node
+	uses int
+}
+
+type binder struct {
+	cat    *catalog.Catalog
+	vars   map[string]*boundVar
+	nextID plan.ColumnID
+}
+
+func (b *binder) newID() plan.ColumnID {
+	b.nextID++
+	return b.nextID
+}
+
+func (b *binder) bindScript(s *Script) (*plan.Node, error) {
+	var outputs []*plan.Node
+	for _, st := range s.Stmts {
+		switch st := st.(type) {
+		case *AssignStmt:
+			if _, dup := b.vars[st.Name]; dup {
+				return nil, errf(st.Pos, "variable %q reassigned", st.Name)
+			}
+			n, err := b.bindRel(st.Rel)
+			if err != nil {
+				return nil, err
+			}
+			b.vars[st.Name] = &boundVar{node: n}
+		case *OutputStmt:
+			v, ok := b.vars[st.Name]
+			if !ok {
+				return nil, errf(st.Pos, "output of unbound variable %q", st.Name)
+			}
+			// Outputs share the bound node directly: two outputs of one
+			// intermediate form a DAG, and their schemas never merge.
+			outputs = append(outputs, plan.NewOutput(v.node, st.Path))
+		}
+	}
+	if len(outputs) == 0 {
+		return nil, errf(Pos{1, 1}, "script has no OUTPUT statement")
+	}
+	if len(outputs) == 1 {
+		return outputs[0], nil
+	}
+	return plan.NewMulti(outputs...), nil
+}
+
+// useVar returns the node bound to a variable. The first relational use
+// shares the node (preserving the job's DAG shape); later uses are cloned
+// with fresh column IDs so self-joins and self-unions keep distinct column
+// identities.
+func (b *binder) useVar(name string, pos Pos) (*plan.Node, error) {
+	v, ok := b.vars[name]
+	if !ok {
+		return nil, errf(pos, "reference to unbound variable %q", name)
+	}
+	v.uses++
+	if v.uses == 1 {
+		return v.node, nil
+	}
+	return plan.CloneWithFreshIDs(v.node, b.newID), nil
+}
+
+func (b *binder) bindRel(r RelExpr) (*plan.Node, error) {
+	switch r := r.(type) {
+	case *VarRef:
+		return b.useVar(r.Name, r.Pos)
+	case *ExtractExpr:
+		return b.bindExtract(r)
+	case *SelectExpr:
+		return b.bindSelect(r)
+	case *UnionExpr:
+		return b.bindUnion(r)
+	case *ProcessExpr:
+		return b.bindProcess(r)
+	case *ReduceExpr:
+		return b.bindReduce(r)
+	}
+	return nil, fmt.Errorf("scopeql: unknown relational expression %T", r)
+}
+
+func (b *binder) bindExtract(e *ExtractExpr) (*plan.Node, error) {
+	st := b.cat.Stream(e.Stream)
+	if st == nil {
+		return nil, errf(e.Pos, "unknown input stream %q", e.Stream)
+	}
+	schema := make([]plan.Column, 0, len(e.Columns))
+	for _, name := range e.Columns {
+		col := st.Column(name)
+		if col == nil {
+			return nil, errf(e.Pos, "stream %q has no column %q", e.Stream, name)
+		}
+		schema = append(schema, plan.Column{
+			ID:     b.newID(),
+			Name:   name,
+			Source: e.Stream + "." + name,
+		})
+	}
+	return plan.NewGet(e.Stream, schema), nil
+}
+
+// bindStream binds a direct stream reference in FROM position, extracting
+// all columns.
+func (b *binder) bindStream(name string, pos Pos) (*plan.Node, error) {
+	st := b.cat.Stream(name)
+	if st == nil {
+		return nil, errf(pos, "unknown input stream %q", name)
+	}
+	schema := make([]plan.Column, 0, len(st.Columns))
+	for _, col := range st.Columns {
+		schema = append(schema, plan.Column{
+			ID:     b.newID(),
+			Name:   col.Name,
+			Source: name + "." + col.Name,
+		})
+	}
+	return plan.NewGet(name, schema), nil
+}
+
+func (b *binder) bindUnion(u *UnionExpr) (*plan.Node, error) {
+	children := make([]*plan.Node, 0, len(u.Terms))
+	for _, t := range u.Terms {
+		n, err := b.bindRel(t)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, n)
+	}
+	arity := len(children[0].Schema)
+	for i, c := range children[1:] {
+		if len(c.Schema) != arity {
+			return nil, errf(u.Pos, "UNION ALL branch %d has %d columns, want %d", i+2, len(c.Schema), arity)
+		}
+	}
+	return plan.NewUnionAll(children...), nil
+}
+
+func (b *binder) bindProcess(e *ProcessExpr) (*plan.Node, error) {
+	if b.cat.UDO(e.UDO) == nil {
+		return nil, errf(e.Pos, "unknown processor %q", e.UDO)
+	}
+	child, err := b.bindRel(e.Source)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewProcess(child, e.UDO), nil
+}
+
+func (b *binder) bindReduce(e *ReduceExpr) (*plan.Node, error) {
+	if b.cat.UDO(e.UDO) == nil {
+		return nil, errf(e.Pos, "unknown reducer %q", e.UDO)
+	}
+	child, err := b.bindRel(e.Source)
+	if err != nil {
+		return nil, err
+	}
+	env := scope{{alias: "", node: child}}
+	keys := make([]plan.Column, 0, len(e.Keys))
+	for _, k := range e.Keys {
+		col, err := env.resolve(k)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, col)
+	}
+	return plan.NewReduce(child, keys, e.UDO), nil
+}
+
+// scope is the name-resolution environment of one SELECT: the FROM and JOIN
+// sources with their aliases.
+type scope []scopeEntry
+
+type scopeEntry struct {
+	alias string
+	node  *plan.Node
+}
+
+func (s scope) resolve(c ColName) (plan.Column, error) {
+	var found []plan.Column
+	for _, e := range s {
+		if c.Qualifier != "" && c.Qualifier != e.alias {
+			continue
+		}
+		for _, col := range e.node.Schema {
+			if col.Name == c.Name {
+				found = append(found, col)
+			}
+		}
+	}
+	switch len(found) {
+	case 0:
+		return plan.Column{}, errf(c.Pos, "unknown column %q", c.String())
+	case 1:
+		return found[0], nil
+	}
+	return plan.Column{}, errf(c.Pos, "ambiguous column %q (qualify it)", c.String())
+}
+
+func (b *binder) bindTableRef(r TableRef) (scopeEntry, error) {
+	var (
+		n   *plan.Node
+		err error
+	)
+	switch {
+	case r.Var != "":
+		n, err = b.useVar(r.Var, r.Pos)
+	case r.Stream != "":
+		n, err = b.bindStream(r.Stream, r.Pos)
+	default:
+		n, err = b.bindRel(r.Sub)
+	}
+	if err != nil {
+		return scopeEntry{}, err
+	}
+	alias := r.Alias
+	if alias == "" {
+		alias = r.Var // stream/sub sources without alias are unqualified
+	}
+	return scopeEntry{alias: alias, node: n}, nil
+}
+
+func (b *binder) bindSelect(sel *SelectExpr) (*plan.Node, error) {
+	fromEntry, err := b.bindTableRef(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	env := scope{fromEntry}
+	cur := fromEntry.node
+
+	// Joins: left-deep over the FROM chain. The optimizer's join-order
+	// rules explore alternatives later.
+	for _, j := range sel.Joins {
+		rightEntry, err := b.bindTableRef(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		env = append(env, rightEntry)
+		on, err := b.bindScalar(j.On, env)
+		if err != nil {
+			return nil, err
+		}
+		cur = plan.NewJoin(cur, rightEntry.node, on)
+	}
+
+	if sel.Where != nil {
+		pred, err := b.bindScalar(sel.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		cur = plan.NewSelect(cur, pred)
+	}
+
+	grouped := len(sel.GroupBy) > 0 || hasAggregate(sel)
+	if grouped {
+		return b.bindGrouped(sel, cur, env)
+	}
+
+	if !sel.Star {
+		projs := make([]plan.Projection, 0, len(sel.Items))
+		for _, item := range sel.Items {
+			p, err := b.bindProjection(item, env)
+			if err != nil {
+				return nil, err
+			}
+			projs = append(projs, p)
+		}
+		cur = plan.NewProject(cur, projs)
+	}
+	return b.applyTop(sel, cur)
+}
+
+func hasAggregate(sel *SelectExpr) bool {
+	for _, item := range sel.Items {
+		if _, ok := item.Expr.(*CallExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *binder) bindGrouped(sel *SelectExpr, child *plan.Node, env scope) (*plan.Node, error) {
+	if sel.Star {
+		return nil, errf(sel.Pos, "SELECT * cannot be combined with GROUP BY or aggregates")
+	}
+	keys := make([]plan.Column, 0, len(sel.GroupBy))
+	keySet := make(map[plan.ColumnID]bool)
+	for _, k := range sel.GroupBy {
+		col, err := env.resolve(k)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, col)
+		keySet[col.ID] = true
+	}
+
+	var (
+		aggs  []plan.Agg
+		projs []plan.Projection
+	)
+	for _, item := range sel.Items {
+		switch e := item.Expr.(type) {
+		case *CallExpr:
+			var arg *plan.Expr
+			if !e.Star {
+				a, err := b.bindScalar(e.Args[0], env)
+				if err != nil {
+					return nil, err
+				}
+				arg = a
+			}
+			name := item.Alias
+			if name == "" {
+				name = fmt.Sprintf("%s_%d", e.Fn, len(aggs)+1)
+			}
+			out := plan.Column{ID: b.newID(), Name: name}
+			aggs = append(aggs, plan.Agg{Fn: e.Fn, Arg: arg, Out: out})
+			projs = append(projs, plan.Projection{Expr: plan.ColExpr(out), Out: out})
+		case ColName:
+			col, err := env.resolve(e)
+			if err != nil {
+				return nil, err
+			}
+			if !keySet[col.ID] {
+				return nil, errf(e.Pos, "column %q must appear in GROUP BY or inside an aggregate", e.String())
+			}
+			out := col
+			if item.Alias != "" {
+				out.Name = item.Alias
+			}
+			projs = append(projs, plan.Projection{Expr: plan.ColExpr(col), Out: out})
+		default:
+			return nil, errf(sel.Pos, "grouped SELECT items must be group keys or aggregates")
+		}
+	}
+
+	cur := plan.NewGroupBy(child, keys, aggs)
+
+	if sel.Having != nil {
+		henv := scope{{alias: "", node: cur}}
+		pred, err := b.bindScalar(sel.Having, henv)
+		if err != nil {
+			return nil, err
+		}
+		cur = plan.NewSelect(cur, pred)
+	}
+	cur = plan.NewProject(cur, projs)
+	return b.applyTop(sel, cur)
+}
+
+func (b *binder) applyTop(sel *SelectExpr, cur *plan.Node) (*plan.Node, error) {
+	if len(sel.OrderBy) > 0 && sel.Top == 0 {
+		return nil, errf(sel.Pos, "ORDER BY requires TOP in this dialect")
+	}
+	if sel.Top > 0 {
+		env := scope{{alias: "", node: cur}}
+		keys := make([]plan.SortKey, 0, len(sel.OrderBy))
+		for _, ok := range sel.OrderBy {
+			col, err := env.resolve(ok.Col)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, plan.SortKey{Col: col, Desc: ok.Desc})
+		}
+		if len(keys) == 0 {
+			// TOP without ORDER BY: sort on first column for determinism.
+			keys = append(keys, plan.SortKey{Col: cur.Schema[0]})
+		}
+		cur = plan.NewTop(cur, sel.Top, keys)
+	}
+	return cur, nil
+}
+
+func (b *binder) bindProjection(item SelectItem, env scope) (plan.Projection, error) {
+	e, err := b.bindScalar(item.Expr, env)
+	if err != nil {
+		return plan.Projection{}, err
+	}
+	name := item.Alias
+	if name == "" {
+		if e.Kind == plan.ExprColumn {
+			name = e.Col.Name
+		} else {
+			name = fmt.Sprintf("expr_%d", b.nextID+1)
+		}
+	}
+	var out plan.Column
+	if e.Kind == plan.ExprColumn {
+		// Pass-through column: preserve identity and lineage.
+		out = e.Col
+		out.Name = name
+	} else {
+		out = plan.Column{ID: b.newID(), Name: name}
+	}
+	return plan.Projection{Expr: e, Out: out}, nil
+}
+
+var binOps = map[string]plan.CmpOp{
+	"==": plan.OpEQ, "!=": plan.OpNE,
+	"<": plan.OpLT, "<=": plan.OpLE, ">": plan.OpGT, ">=": plan.OpGE,
+	"+": plan.OpAdd, "-": plan.OpSub, "*": plan.OpMul, "/": plan.OpDiv,
+}
+
+func (b *binder) bindScalar(e ScalarExpr, env scope) (*plan.Expr, error) {
+	switch e := e.(type) {
+	case ColName:
+		col, err := env.resolve(e)
+		if err != nil {
+			return nil, err
+		}
+		return plan.ColExpr(col), nil
+	case NumLit:
+		return plan.NumExpr(e.Value), nil
+	case StrLit:
+		return plan.StrExpr(e.Value), nil
+	case *BinExpr:
+		l, err := b.bindScalar(e.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindScalar(e.R, env)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "AND":
+			return plan.And(l, r), nil
+		case "OR":
+			return plan.Or(l, r), nil
+		}
+		op, ok := binOps[e.Op]
+		if !ok {
+			return nil, errf(e.Pos, "unsupported operator %q", e.Op)
+		}
+		kind := plan.ExprCmp
+		if op >= plan.OpAdd {
+			kind = plan.ExprArith
+		}
+		return &plan.Expr{Kind: kind, Op: op, Args: []*plan.Expr{l, r}}, nil
+	case *CallExpr:
+		return nil, errf(e.Pos, "aggregate %s outside grouped SELECT", e.Fn)
+	}
+	return nil, fmt.Errorf("scopeql: unknown scalar expression %T", e)
+}

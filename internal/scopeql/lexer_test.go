@@ -1,0 +1,111 @@
+package scopeql
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`x = SELECT a, b FROM "s/t" WHERE a >= 1.5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokIdent, "x"}, {TokSymbol, "="}, {TokKeyword, "SELECT"},
+		{TokIdent, "a"}, {TokSymbol, ","}, {TokIdent, "b"},
+		{TokKeyword, "FROM"}, {TokString, "s/t"}, {TokKeyword, "WHERE"},
+		{TokIdent, "a"}, {TokSymbol, ">="}, {TokNumber, "1.5"},
+		{TokSymbol, ";"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select Select SELECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword || tok.Text != "SELECT" {
+			t.Fatalf("keyword normalization failed: %+v", tok)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a -- a comment\n// another\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks, err := Lex("== != <= >= < > =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"==", "!=", "<=", ">=", "<", ">", "="}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`x = "unterminated`,
+		"x = \"newline\nin string\"",
+		"x = @",
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexNumberForms(t *testing.T) {
+	toks, err := Lex("1 2.5 100.25 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", "100.25", "7"}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("number %d = %v %q", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+	_ = kinds
+}

@@ -1,0 +1,582 @@
+package scopeql
+
+import "strconv"
+
+// Parse lexes and parses a SCOPE-like script.
+func Parse(src string) (*Script, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.script()
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) atSymbol(sym string) bool {
+	t := p.cur()
+	return t.Kind == TokSymbol && t.Text == sym
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	if !p.atKeyword(kw) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %q", kw, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectSymbol(sym string) (Token, error) {
+	if !p.atSymbol(sym) {
+		return Token{}, errf(p.cur().Pos, "expected %q, found %q", sym, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	if p.cur().Kind != TokIdent {
+		return Token{}, errf(p.cur().Pos, "expected identifier, found %q", p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) script() (*Script, error) {
+	s := &Script{}
+	for p.cur().Kind != TokEOF {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.Stmts = append(s.Stmts, st)
+	}
+	if len(s.Stmts) == 0 {
+		return nil, errf(p.cur().Pos, "empty script")
+	}
+	return s, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	if p.atKeyword("OUTPUT") {
+		pos := p.next().Pos
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != TokString {
+			return nil, errf(p.cur().Pos, "expected output path string, found %q", p.cur().Text)
+		}
+		path := p.next().Text
+		if _, err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return &OutputStmt{Name: name.Text, Path: path, Pos: pos}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	rel, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name.Text, Rel: rel, Pos: name.Pos}, nil
+}
+
+// relExpr parses a relational expression, handling UNION ALL at the top
+// level.
+func (p *parser) relExpr() (RelExpr, error) {
+	first, err := p.relTerm()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("UNION") {
+		return first, nil
+	}
+	u := &UnionExpr{Terms: []RelExpr{first}, Pos: p.cur().Pos}
+	for p.atKeyword("UNION") {
+		p.next()
+		if _, err := p.expectKeyword("ALL"); err != nil {
+			return nil, err
+		}
+		t, err := p.relTerm()
+		if err != nil {
+			return nil, err
+		}
+		u.Terms = append(u.Terms, t)
+	}
+	return u, nil
+}
+
+func (p *parser) relTerm() (RelExpr, error) {
+	t := p.cur()
+	switch {
+	case p.atSymbol("("):
+		p.next()
+		inner, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.atKeyword("SELECT"):
+		return p.selectExpr()
+	case p.atKeyword("EXTRACT"):
+		return p.extractExpr()
+	case p.atKeyword("PROCESS"):
+		return p.processExpr()
+	case p.atKeyword("REDUCE"):
+		return p.reduceExpr()
+	case t.Kind == TokIdent:
+		p.next()
+		return &VarRef{Name: t.Text, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected relational expression, found %q", t.Text)
+}
+
+func (p *parser) extractExpr() (RelExpr, error) {
+	pos := p.next().Pos // EXTRACT
+	var cols []string
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.Text)
+		if !p.atSymbol(",") {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokString {
+		return nil, errf(p.cur().Pos, "expected stream path string, found %q", p.cur().Text)
+	}
+	stream := p.next().Text
+	return &ExtractExpr{Columns: cols, Stream: stream, Pos: pos}, nil
+}
+
+func (p *parser) processExpr() (RelExpr, error) {
+	pos := p.next().Pos // PROCESS
+	src, err := p.relSource()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	udo, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ProcessExpr{Source: src, UDO: udo.Text, Pos: pos}, nil
+}
+
+func (p *parser) reduceExpr() (RelExpr, error) {
+	pos := p.next().Pos // REDUCE
+	src, err := p.relSource()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	var keys []ColName
+	for {
+		c, err := p.colName()
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, c)
+		if !p.atSymbol(",") {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	udo, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ReduceExpr{Source: src, Keys: keys, UDO: udo.Text, Pos: pos}, nil
+}
+
+// relSource parses the source of PROCESS/REDUCE: a variable or a
+// parenthesized relational expression.
+func (p *parser) relSource() (RelExpr, error) {
+	if p.atSymbol("(") {
+		p.next()
+		inner, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &VarRef{Name: id.Text, Pos: id.Pos}, nil
+}
+
+func (p *parser) selectExpr() (RelExpr, error) {
+	pos := p.next().Pos // SELECT
+	sel := &SelectExpr{Pos: pos}
+	if p.atKeyword("TOP") {
+		p.next()
+		if p.cur().Kind != TokNumber {
+			return nil, errf(p.cur().Pos, "expected number after TOP, found %q", p.cur().Text)
+		}
+		n, err := strconv.Atoi(p.next().Text)
+		if err != nil || n <= 0 {
+			return nil, errf(pos, "invalid TOP count")
+		}
+		sel.Top = n
+	}
+	if p.atSymbol("*") {
+		p.next()
+		sel.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+			if !p.atSymbol(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	for p.atKeyword("INNER") || p.atKeyword("JOIN") {
+		jpos := p.cur().Pos
+		if p.atKeyword("INNER") {
+			p.next()
+		}
+		if _, err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		right, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Right: right, On: on, Pos: jpos})
+	}
+	if p.atKeyword("WHERE") {
+		p.next()
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.atKeyword("GROUP") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colName()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if !p.atSymbol(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("HAVING") {
+		p.next()
+		h, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colName()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: c}
+			if p.atKeyword("DESC") {
+				p.next()
+				key.Desc = true
+			} else if p.atKeyword("ASC") {
+				p.next()
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.atSymbol(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	e, err := p.addExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.atKeyword("AS") {
+		p.next()
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a.Text
+	}
+	return item, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t := p.cur()
+	var ref TableRef
+	ref.Pos = t.Pos
+	switch {
+	case t.Kind == TokString:
+		p.next()
+		ref.Stream = t.Text
+	case t.Kind == TokIdent:
+		p.next()
+		ref.Var = t.Text
+	case p.atSymbol("("):
+		p.next()
+		inner, err := p.relExpr()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if _, err := p.expectSymbol(")"); err != nil {
+			return TableRef{}, err
+		}
+		ref.Sub = inner
+	default:
+		return TableRef{}, errf(t.Pos, "expected table reference, found %q", t.Text)
+	}
+	if p.atKeyword("AS") {
+		p.next()
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.Text
+	}
+	return ref, nil
+}
+
+// Scalar expression grammar, lowest to highest precedence:
+// orExpr := andExpr (OR andExpr)*
+// andExpr := cmpExpr (AND cmpExpr)*
+// cmpExpr := addExpr (cmpOp addExpr)?
+// addExpr := mulExpr (("+"|"-") mulExpr)*
+// mulExpr := unary (("*"|"/") unary)*
+// unary := number | string | colName | call | "(" orExpr ")"
+
+func (p *parser) orExpr() (ScalarExpr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		pos := p.next().Pos
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (ScalarExpr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		pos := p.next().Pos
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) cmpExpr() (ScalarExpr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokSymbol && cmpOps[t.Text] {
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: t.Text, L: l, R: r, Pos: t.Pos}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (ScalarExpr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("+") || p.atSymbol("-") {
+		t := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.Text, L: l, R: r, Pos: t.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (ScalarExpr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("*") || p.atSymbol("/") {
+		t := p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.Text, L: l, R: r, Pos: t.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (ScalarExpr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid number %q", t.Text)
+		}
+		return NumLit{Value: v, Pos: t.Pos}, nil
+	case t.Kind == TokString:
+		p.next()
+		return StrLit{Value: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && aggregates[t.Text]:
+		p.next()
+		if _, err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		call := &CallExpr{Fn: t.Text, Pos: t.Pos}
+		if p.atSymbol("*") {
+			p.next()
+			call.Star = true
+		} else {
+			arg, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+		}
+		if _, err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case t.Kind == TokIdent:
+		return p.colNameExpr()
+	case p.atSymbol("("):
+		p.next()
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %q", t.Text)
+}
+
+func (p *parser) colName() (ColName, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return ColName{}, err
+	}
+	c := ColName{Name: id.Text, Pos: id.Pos}
+	if p.atSymbol(".") {
+		p.next()
+		id2, err := p.expectIdent()
+		if err != nil {
+			return ColName{}, err
+		}
+		c.Qualifier = c.Name
+		c.Name = id2.Text
+	}
+	return c, nil
+}
+
+func (p *parser) colNameExpr() (ScalarExpr, error) {
+	c, err := p.colName()
+	return c, err
+}

@@ -1,0 +1,158 @@
+package steering
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/cascades"
+)
+
+// Hints is the deployment surface the paper recommends (§3.3): a discovered
+// rule configuration rendered as the rule on/off flags a customer pastes
+// into their job ("rule flags are already available and often used by
+// customers; new rule configurations can be simply surfaced as an extension
+// of this capability").
+//
+// A hint string lists only the *differences* from the default configuration,
+// e.g.:
+//
+//	DISABLE: JoinImpl2, SelectIntoGet
+//	ENABLE:  CorrelatedJoinOnUnionAll1
+type Hints struct {
+	Disable []string
+	Enable  []string
+}
+
+// HintsFor renders a configuration as hints relative to the rule set's
+// default configuration. Rules the catalog does not know (stray bits) are
+// rendered as "rule#<id>".
+func HintsFor(cfg bitvec.Vector, rs *cascades.RuleSet) Hints {
+	def := rs.DefaultConfig()
+	name := func(id int) string {
+		if ri, ok := rs.Info(id); ok {
+			return ri.Name
+		}
+		return fmt.Sprintf("rule#%d", id)
+	}
+	var h Hints
+	for _, id := range def.AndNot(cfg).Ones() {
+		h.Disable = append(h.Disable, name(id))
+	}
+	for _, id := range cfg.AndNot(def).Ones() {
+		h.Enable = append(h.Enable, name(id))
+	}
+	sort.Strings(h.Disable)
+	sort.Strings(h.Enable)
+	return h
+}
+
+// String renders the hints in the canonical textual form.
+func (h Hints) String() string {
+	var b strings.Builder
+	if len(h.Disable) > 0 {
+		fmt.Fprintf(&b, "DISABLE: %s\n", strings.Join(h.Disable, ", "))
+	}
+	if len(h.Enable) > 0 {
+		fmt.Fprintf(&b, "ENABLE: %s\n", strings.Join(h.Enable, ", "))
+	}
+	if b.Len() == 0 {
+		return "DEFAULT\n"
+	}
+	return b.String()
+}
+
+// ParseHints reconstructs a configuration from hint text, relative to the
+// rule set's default configuration. Unknown rule names are an error — a
+// stale hint referencing a removed rule must not silently degrade to the
+// default ("it is always hard to deploy learning based approaches that may
+// cause surprising regressions", §3.3).
+func ParseHints(text string, rs *cascades.RuleSet) (bitvec.Vector, error) {
+	cfg := rs.DefaultConfig()
+	byName := make(map[string]int)
+	for _, ri := range rs.Infos() {
+		byName[ri.Name] = ri.ID
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line == "DEFAULT" {
+			continue
+		}
+		var names string
+		var enable bool
+		switch {
+		case strings.HasPrefix(line, "DISABLE:"):
+			names = strings.TrimPrefix(line, "DISABLE:")
+		case strings.HasPrefix(line, "ENABLE:"):
+			names = strings.TrimPrefix(line, "ENABLE:")
+			enable = true
+		default:
+			return bitvec.Vector{}, fmt.Errorf("steering: bad hint line %q", line)
+		}
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			id, ok := byName[n]
+			if !ok {
+				return bitvec.Vector{}, fmt.Errorf("steering: unknown rule %q in hints", n)
+			}
+			if ri, _ := rs.Info(id); ri.Category == cascades.Required {
+				return bitvec.Vector{}, fmt.Errorf("steering: required rule %q cannot be hinted", n)
+			}
+			cfg.Assign(id, enable)
+		}
+	}
+	return cfg, nil
+}
+
+// Recommendation packages a discovered configuration for handoff to a
+// workload owner: the hints, the evidence it was selected on, and the job
+// group it is expected to transfer to.
+type Recommendation struct {
+	// Workload and BaseJob identify where the configuration was found.
+	Workload string `json:"workload"`
+	BaseJob  string `json:"base_job"`
+	// GroupSignature is the default rule signature (hex) of the job group
+	// the recommendation extrapolates to (Definition 6.2).
+	GroupSignature string `json:"group_signature"`
+	// ConfigHex is the full configuration bit vector in hex.
+	ConfigHex string `json:"config_hex"`
+	// Hints is the human-facing diff from the default configuration.
+	Hints string `json:"hints"`
+	// DefaultRuntimeSec and SteeredRuntimeSec record the base job's A/B
+	// measurement.
+	DefaultRuntimeSec float64 `json:"default_runtime_sec"`
+	SteeredRuntimeSec float64 `json:"steered_runtime_sec"`
+}
+
+// Recommend builds the recommendation for an analysis whose best alternative
+// beats the default. Returns nil when no alternative improved the runtime.
+//
+// The recommended configuration is *minimized* against the job span: rules
+// outside the span cannot affect the plan (Definition 5.1), so their bits are
+// reset to the default — the customer-facing hint then names only the
+// toggles that matter. (If the span heuristic missed a dependency, the
+// minimized configuration can compile slightly differently from the measured
+// one; the paper accepts the same limitation, §5.1.)
+func Recommend(a *Analysis, rs *cascades.RuleSet) *Recommendation {
+	best := a.BestAlternative(MetricRuntime)
+	if best == nil || best.Metrics.RuntimeSec >= a.Default.Metrics.RuntimeSec {
+		return nil
+	}
+	minimal := rs.DefaultConfig()
+	for _, id := range a.Span.Ones() {
+		minimal.Assign(id, best.Config.Get(id))
+	}
+	return &Recommendation{
+		Workload:          a.Job.Workload,
+		BaseJob:           a.Job.ID,
+		GroupSignature:    a.Default.Signature.Hex(),
+		ConfigHex:         minimal.Hex(),
+		Hints:             HintsFor(minimal, rs).String(),
+		DefaultRuntimeSec: a.Default.Metrics.RuntimeSec,
+		SteeredRuntimeSec: best.Metrics.RuntimeSec,
+	}
+}

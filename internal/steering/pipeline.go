@@ -1,0 +1,212 @@
+package steering
+
+import (
+	"fmt"
+	"sort"
+
+	"steerq/internal/abtest"
+	"steerq/internal/bitvec"
+	"steerq/internal/workload"
+	"steerq/internal/xrand"
+)
+
+// Candidate is one recompiled (not executed) rule configuration for a job.
+type Candidate struct {
+	Config    bitvec.Vector
+	EstCost   float64
+	Signature bitvec.Vector
+}
+
+// Analysis is the pipeline's per-job record.
+type Analysis struct {
+	Job *workload.Job
+
+	// Default holds the compiled and executed default-configuration trial.
+	Default abtest.Trial
+
+	// Span is the job span found by Algorithm 1.
+	Span bitvec.Vector
+
+	// Candidates are the successfully recompiled candidate configurations
+	// (compile failures are dropped — §4 expects them).
+	Candidates []Candidate
+
+	// Selected are the configurations chosen for execution (the cheapest
+	// by estimated cost, deduplicated by signature).
+	Selected []Candidate
+
+	// Trials are the executions of Selected, aligned by index.
+	Trials []abtest.Trial
+}
+
+// Pipeline is the offline discovery pipeline of §5–6: span computation,
+// randomized candidate search, recompilation, heuristic selection and
+// selective A/B execution.
+type Pipeline struct {
+	Harness *abtest.Harness
+	Rand    *xrand.Source
+
+	// MaxCandidates is M, the number of candidate configurations to
+	// recompile per job (the paper uses up to 1000).
+	MaxCandidates int
+
+	// ExecutePerJob is how many recompiled candidates are executed (the
+	// paper executes the 10 cheapest).
+	ExecutePerJob int
+}
+
+// NewPipeline returns a pipeline with the paper's parameters (M=1000, 10
+// executions per job).
+func NewPipeline(h *abtest.Harness, r *xrand.Source) *Pipeline {
+	return &Pipeline{Harness: h, Rand: r, MaxCandidates: 1000, ExecutePerJob: 10}
+}
+
+// Analyze runs the full pipeline for one job: default execution, span,
+// candidate generation, recompilation, selection of the cheapest plans and
+// their execution.
+func (p *Pipeline) Analyze(job *workload.Job) (*Analysis, error) {
+	a, err := p.Recompile(job)
+	if err != nil {
+		return nil, err
+	}
+	p.Execute(a)
+	return a, nil
+}
+
+// Recompile runs the cheap half of the pipeline — everything except
+// executing the alternatives: the default trial, the span, and the M
+// recompiled candidates. Figure 4 is produced from this stage alone.
+func (p *Pipeline) Recompile(job *workload.Job) (*Analysis, error) {
+	h := p.Harness
+	def := h.RunConfig(job.Root, h.Opt.Rules.DefaultConfig(), job.Day, job.ID+"/default")
+	if def.Err != nil {
+		return nil, fmt.Errorf("steering: default compile of %s: %w", job.ID, def.Err)
+	}
+	span, err := JobSpan(h.Opt, job.Root)
+	if err != nil {
+		return nil, fmt.Errorf("steering: span of %s: %w", job.ID, err)
+	}
+	r := p.Rand.Derive("job", job.ID)
+	cfgs := CandidateConfigs(span, h.Opt.Rules, p.MaxCandidates, r)
+	a := &Analysis{Job: job, Default: def, Span: span}
+	for _, cfg := range cfgs {
+		res, err := h.Opt.Optimize(job.Root, cfg)
+		if err != nil {
+			continue // configurations that do not compile are expected
+		}
+		a.Candidates = append(a.Candidates, Candidate{
+			Config:    cfg,
+			EstCost:   res.Cost,
+			Signature: res.Signature,
+		})
+	}
+	return a, nil
+}
+
+// Execute selects the cheapest recompiled candidates (deduplicated by rule
+// signature, so the executed set spans distinct plans) and runs them through
+// the A/B harness.
+func (p *Pipeline) Execute(a *Analysis) {
+	cands := append([]Candidate(nil), a.Candidates...)
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].EstCost < cands[j].EstCost })
+	seen := map[bitvec.Key]bool{a.Default.Signature.Key(): true}
+	for _, c := range cands {
+		if len(a.Selected) >= p.ExecutePerJob {
+			break
+		}
+		k := c.Signature.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		a.Selected = append(a.Selected, c)
+	}
+	for i, c := range a.Selected {
+		t := p.Harness.RunConfig(a.Job.Root, c.Config, a.Job.Day, fmt.Sprintf("%s/alt%d", a.Job.ID, i))
+		a.Trials = append(a.Trials, t)
+	}
+}
+
+// Metric selects which §3.1.2 metric a comparison optimizes.
+type Metric int
+
+// Metrics of interest (§3.1.2).
+const (
+	MetricRuntime Metric = iota
+	MetricCPU
+	MetricIO
+)
+
+var metricNames = [...]string{"runtime", "cpu-time", "io-time"}
+
+func (m Metric) String() string { return metricNames[m] }
+
+// value extracts the metric from a trial.
+func (m Metric) value(t *abtest.Trial) float64 {
+	switch m {
+	case MetricCPU:
+		return t.Metrics.CPUSec
+	case MetricIO:
+		return t.Metrics.IOTimeSec
+	}
+	return t.Metrics.RuntimeSec
+}
+
+// BestAlternative returns the executed trial with the lowest value of the
+// metric, or nil when nothing was executed.
+func (a *Analysis) BestAlternative(m Metric) *abtest.Trial {
+	var best *abtest.Trial
+	for i := range a.Trials {
+		t := &a.Trials[i]
+		if t.Err != nil {
+			continue
+		}
+		if best == nil || m.value(t) < m.value(best) {
+			best = t
+		}
+	}
+	return best
+}
+
+// BestConfig returns the trial (including the default) with the lowest value
+// of the metric: "always choose the best known rule configuration" (Table 3
+// includes the default, since some jobs improve under none of the
+// alternatives).
+func (a *Analysis) BestConfig(m Metric) *abtest.Trial {
+	best := &a.Default
+	if alt := a.BestAlternative(m); alt != nil && m.value(alt) < m.value(best) {
+		best = alt
+	}
+	return best
+}
+
+// PercentChange returns the percentage change of the trial's metric from the
+// default (negative is an improvement; bounded below by -100%, unbounded
+// above, exactly as Figure 6 notes).
+func (a *Analysis) PercentChange(t *abtest.Trial, m Metric) float64 {
+	d := m.value(&a.Default)
+	if d == 0 {
+		return 0
+	}
+	return 100 * (m.value(t) - d) / d
+}
+
+// CheaperCandidates reports candidates whose estimated cost undercuts the
+// default by at least frac (e.g. 0.1 = 10% cheaper) — heuristic (1) of §6.1.
+func (a *Analysis) CheaperCandidates(frac float64) []Candidate {
+	var out []Candidate
+	for _, c := range a.Candidates {
+		if c.EstCost < a.Default.EstCost*(1-frac) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LowCostHighRuntime reports whether the job sits in Figure 5's top-left
+// corner: the optimizer expected it to be fast (estimated cost below
+// costCeil) but it ran long (runtime above runtimeFloor seconds) — heuristic
+// (2) of §6.1.
+func (a *Analysis) LowCostHighRuntime(costCeil, runtimeFloor float64) bool {
+	return a.Default.EstCost < costCeil && a.Default.Metrics.RuntimeSec > runtimeFloor
+}

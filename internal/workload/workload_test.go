@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"steerq/internal/cascades"
+	"steerq/internal/cost"
+	"steerq/internal/exec"
+	"steerq/internal/plan"
+	"steerq/internal/rules"
+)
+
+func TestDayDeterministic(t *testing.T) {
+	w1 := Generate(ProfileA(0.001, 42))
+	w2 := Generate(ProfileA(0.001, 42))
+	j1 := w1.Day(0)
+	j2 := w2.Day(0)
+	if len(j1) != len(j2) {
+		t.Fatalf("day sizes differ: %d vs %d", len(j1), len(j2))
+	}
+	for i := range j1 {
+		if j1[i].Script != j2[i].Script {
+			t.Fatalf("job %d scripts differ", i)
+		}
+		if j1[i].InstanceHash != j2[i].InstanceHash {
+			t.Fatalf("job %d instance hashes differ", i)
+		}
+	}
+}
+
+func TestDaysDiffer(t *testing.T) {
+	w := Generate(ProfileA(0.001, 42))
+	d0 := w.Day(0)
+	d1 := w.Day(1)
+	same := 0
+	for i := range d0 {
+		if i < len(d1) && d0[i].InstanceHash == d1[i].InstanceHash {
+			same++
+		}
+	}
+	if same == len(d0) {
+		t.Fatal("consecutive days generated identical instances")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := Generate(ProfileA(0.001, 1)).Day(0)
+	b := Generate(ProfileA(0.001, 2)).Day(0)
+	if a[0].Script == b[0].Script {
+		t.Fatal("different seeds generated identical first jobs")
+	}
+}
+
+func TestTemplateRecurrence(t *testing.T) {
+	w := Generate(ProfileA(0.002, 42))
+	// Instances of the same template share the TemplateHash but (usually)
+	// not the InstanceHash.
+	byTemplate := make(map[int][]*Job)
+	for d := 0; d < 3; d++ {
+		for _, j := range w.Day(d) {
+			byTemplate[j.Template] = append(byTemplate[j.Template], j)
+		}
+	}
+	checked := 0
+	for _, jobs := range byTemplate {
+		if len(jobs) < 2 {
+			continue
+		}
+		checked++
+		for _, j := range jobs[1:] {
+			if j.TemplateHash != jobs[0].TemplateHash {
+				t.Fatalf("template %d instances hash differently", j.Template)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no recurring templates in three days")
+	}
+}
+
+func TestAllJobsCompileAndOptimize(t *testing.T) {
+	for _, p := range []Profile{ProfileA(0.001, 7), ProfileB(0.002, 7), ProfileC(0.001, 7)} {
+		w := Generate(p)
+		opt := rules.NewOptimizer(cost.NewEstimated(w.Cat))
+		cfg := opt.Rules.DefaultConfig()
+		for _, j := range w.Day(0) {
+			if j.Root == nil {
+				t.Fatalf("%s: nil plan", j.ID)
+			}
+			if _, err := opt.Optimize(j.Root, cfg); err != nil {
+				t.Fatalf("%s fails to optimize: %v\n%s", j.ID, err, j.Script)
+			}
+		}
+	}
+}
+
+func TestDayStats(t *testing.T) {
+	w := Generate(ProfileA(0.002, 42))
+	jobs := w.Day(0)
+	st := DayStats(jobs)
+	if st.Jobs != len(jobs) {
+		t.Fatalf("stats jobs %d != %d", st.Jobs, len(jobs))
+	}
+	if st.UniqueTemplates == 0 || st.UniqueTemplates > st.Jobs {
+		t.Fatalf("unique templates %d out of range", st.UniqueTemplates)
+	}
+	if st.UniqueInputs == 0 || st.UniqueInputs > st.Jobs {
+		t.Fatalf("unique inputs %d out of range", st.UniqueInputs)
+	}
+	// Recurrence: noticeably fewer templates than jobs.
+	if st.UniqueTemplates == st.Jobs {
+		t.Fatal("no template recurred within the day")
+	}
+}
+
+// TestRuntimeDistribution calibrates the Figure 2a shape: a heavy-tailed
+// runtime distribution where a small fraction of jobs runs long and holds a
+// disproportionate share of the containers.
+func TestRuntimeDistribution(t *testing.T) {
+	w := Generate(ProfileA(0.002, 42))
+	jobs := w.Day(0)
+	opt := rules.NewOptimizer(cost.NewEstimated(w.Cat))
+	cfg := opt.Rules.DefaultConfig()
+	ex := exec.New(w.Cat, 7)
+	var rts []float64
+	var total, long float64
+	over5 := 0
+	for _, j := range jobs {
+		res, err := opt.Optimize(j.Root, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", j.ID, err)
+		}
+		m := ex.Run(res.Plan, j.Day, j.ID)
+		rts = append(rts, m.RuntimeSec)
+		total += m.VertexSeconds
+		if m.RuntimeSec > 300 {
+			over5++
+			long += m.VertexSeconds
+		}
+	}
+	sort.Float64s(rts)
+	med := rts[len(rts)/2]
+	max := rts[len(rts)-1]
+	frac := float64(over5) / float64(len(rts))
+	if frac < 0.03 || frac > 0.45 {
+		t.Errorf("fraction of >5min jobs %.2f outside the Figure 2a ballpark", frac)
+	}
+	if max < 10*med {
+		t.Errorf("runtime tail too light: median %.0fs max %.0fs", med, max)
+	}
+	if share := long / total; share < frac {
+		t.Errorf("long jobs hold %.0f%% of containers for %.0f%% of jobs; expected disproportionate share",
+			100*share, 100*frac)
+	}
+}
+
+func TestJobInputsMatchHashes(t *testing.T) {
+	w := Generate(ProfileA(0.001, 42))
+	for _, j := range w.Day(0)[:20] {
+		if j.InputsHash != plan.InputsHash(j.Root) {
+			t.Fatalf("%s: stale inputs hash", j.ID)
+		}
+		if j.TemplateHash != plan.TemplateHash(j.Root) {
+			t.Fatalf("%s: stale template hash", j.ID)
+		}
+	}
+}
+
+func TestShapeMixCoversFamilies(t *testing.T) {
+	w := Generate(ProfileA(0.005, 42))
+	shapes := make(map[string]bool)
+	for _, tpl := range w.Templates {
+		shapes[tpl.Shape] = true
+	}
+	// At a reasonable scale every shape family should be represented.
+	for _, s := range shapeNames {
+		if !shapes[s] {
+			t.Errorf("shape %s absent from the template pool", s)
+		}
+	}
+}
+
+func TestSubmittedConfig(t *testing.T) {
+	rs := rules.Catalog()
+	def := rs.DefaultConfig()
+	j := &Job{Hints: []int{rules.IDCorrelatedJoinOnUnionAll1, rules.IDJoinImpl2}}
+	cfg := j.SubmittedConfig(def)
+	if !cfg.Get(rules.IDCorrelatedJoinOnUnionAll1) {
+		t.Fatal("off-by-default hint not enabled")
+	}
+	if cfg.Get(rules.IDJoinImpl2) {
+		t.Fatal("on-by-default hint not disabled")
+	}
+	// Unhinted jobs submit the default.
+	if !(&Job{}).SubmittedConfig(def).Equal(def) {
+		t.Fatal("unhinted job altered the default")
+	}
+}
+
+func TestSomeTemplatesCarryHints(t *testing.T) {
+	w := Generate(ProfileA(0.01, 2021))
+	hinted := 0
+	for _, tpl := range w.Templates {
+		if len(tpl.hints) > 0 {
+			hinted++
+		}
+	}
+	if hinted == 0 {
+		t.Fatal("no hinted templates generated")
+	}
+	if hinted > len(w.Templates)/4 {
+		t.Fatalf("%d of %d templates hinted; hints should be rare", hinted, len(w.Templates))
+	}
+	// Hints reference real non-required rules.
+	rs := rules.Catalog()
+	for _, tpl := range w.Templates {
+		for _, id := range tpl.hints {
+			ri, ok := rs.Info(id)
+			if !ok {
+				t.Fatalf("hint references unknown rule %d", id)
+			}
+			if ri.Category == cascades.Required {
+				t.Fatalf("hint toggles required rule %s", ri)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package xrand provides deterministic, splittable random number streams.
+//
+// Every stochastic component of steerq (workload generation, data statistics,
+// configuration sampling, execution noise, model initialization) draws from a
+// stream derived from a single experiment seed plus a textual path such as
+// "workloadA/day3/job17". Equal paths yield equal streams, so experiments are
+// reproducible and independent components do not perturb each other's
+// randomness when code paths change.
+package xrand
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random stream. It wraps math/rand with a seed
+// derived from a root seed and a path, and offers the distributions used by
+// the simulator.
+type Source struct {
+	seed uint64
+	rng  *rand.Rand
+}
+
+// New returns a stream for the given root seed.
+func New(seed uint64) *Source {
+	return &Source{seed: seed, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Derive returns a new independent stream whose seed is a hash of the parent
+// seed and the path components. Deriving the same path twice yields streams
+// that produce identical sequences.
+func (s *Source) Derive(path ...string) *Source {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s.seed >> (8 * uint(i)))
+	}
+	h.Write(buf[:])
+	for _, p := range path {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return New(h.Sum64())
+}
+
+// Seed returns the stream's seed, useful for diagnostics.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// LogNormal returns a log-normally distributed float64 where the underlying
+// normal has the given mu and sigma. Job runtimes in big-data clusters are
+// approximately log-normal (Figure 2a), which is why the workload generator
+// and the noise model both use this distribution.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Pareto returns a Pareto(xm, alpha) sample: heavy-tailed sizes for inputs
+// and skewed key frequencies.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Zipf returns integers in [0, n) with a Zipf-like rank-frequency law of the
+// given skew s (>0, larger is more skewed). Used to model hot join keys and
+// the heavy-headed distribution of rule signatures (Figure 2d).
+func (s *Source) Zipf(n int, skew float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF sampling over the (truncated) harmonic weights.
+	// For the small n used here this is accurate and allocation-free
+	// besides being perfectly deterministic.
+	u := s.rng.Float64()
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), skew)
+	}
+	target := u * total
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), skew)
+		if cum >= target {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Pick returns a uniformly chosen element index weighted by weights.
+// Weights must be non-negative; if all are zero it returns 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	target := s.rng.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		cum += w
+		if cum >= target {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Sample returns k distinct indices uniformly drawn from [0, n) in random
+// order. If k >= n it returns a permutation of all n indices.
+func (s *Source) Sample(n, k int) []int {
+	p := s.rng.Perm(n)
+	if k > n {
+		k = n
+	}
+	return p[:k]
+}

@@ -1,0 +1,151 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).Derive("x", "y")
+	b := New(42).Derive("x", "y")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("identical derivation paths diverge")
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(42)
+	a := root.Derive("a")
+	b := root.Derive("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different paths produced %d identical values", same)
+	}
+}
+
+func TestDeriveOrderInsensitive(t *testing.T) {
+	// Deriving b after consuming values from the parent must not change b's
+	// stream: derivation depends only on the seed and path.
+	r1 := New(7)
+	r1.Float64()
+	r1.Float64()
+	b1 := r1.Derive("child").Float64()
+	b2 := New(7).Derive("child").Float64()
+	if b1 != b2 {
+		t.Fatal("derived stream depends on parent consumption")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) = %v out of range", v)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+	}
+}
+
+func TestParetoAtLeastXm(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := New(4)
+	const n = 20
+	counts := make([]int, n)
+	for i := 0; i < 20000; i++ {
+		k := r.Zipf(n, 1.2)
+		if k < 0 || k >= n {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank%d=%d", counts[0], n-1, counts[n-1])
+	}
+	if r.Zipf(1, 2) != 0 || r.Zipf(0, 2) != 0 {
+		t.Fatal("degenerate Zipf should return 0")
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := New(5)
+	w := []float64{0, 0, 10, 0}
+	for i := 0; i < 100; i++ {
+		if got := r.Pick(w); got != 2 {
+			t.Fatalf("Pick of single-weight vector = %d", got)
+		}
+	}
+	if got := r.Pick([]float64{0, 0}); got != 0 {
+		t.Fatalf("Pick of all-zero weights = %d, want 0", got)
+	}
+	// Heavier weights drawn more often.
+	w2 := []float64{1, 9}
+	hits := 0
+	for i := 0; i < 5000; i++ {
+		if r.Pick(w2) == 1 {
+			hits++
+		}
+	}
+	frac := float64(hits) / 5000
+	if math.Abs(frac-0.9) > 0.05 {
+		t.Fatalf("Pick weight 9:1 hit fraction %v, want ~0.9", frac)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(6)
+	got := r.Sample(10, 5)
+	if len(got) != 5 {
+		t.Fatalf("Sample(10,5) length %d", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("Sample value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("Sample returned duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(r.Sample(3, 10)) != 3 {
+		t.Fatal("Sample with k>n should return n values")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(8)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / 10000
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}
