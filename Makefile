@@ -1,0 +1,31 @@
+# steerq development targets. `make ci` is the authoritative gate; the
+# other targets are the individual stages for quick local iteration.
+
+.PHONY: all build test race lint vet fmt fuzz ci
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	STEERQ_CHECK_PLANS=1 go test -race ./...
+
+lint:
+	go run ./cmd/steerq-lint ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=15s ./internal/scopeql/
+	go test -fuzz=FuzzCompile -fuzztime=15s ./internal/scopeql/
+
+ci:
+	./ci.sh

@@ -1,0 +1,43 @@
+#!/bin/sh
+# ci.sh — the full steerq gate. Run from the repository root.
+#
+# Stages, in order:
+#   1. go build ./...            everything compiles
+#   2. gofmt -l                  no unformatted files
+#   3. go vet ./...              stdlib vet findings
+#   4. go run ./cmd/steerq-lint  project-specific analyzers (see README)
+#   5. go test -race ./...       unit + property + golden tests under the
+#                                race detector, with plan validation forced
+#                                on via STEERQ_CHECK_PLANS
+#   6. short fuzz pass           30s total over the scopeql parser/binder
+#
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 6 (e.g. on very slow machines).
+set -eu
+
+echo "== build =="
+go build ./...
+
+echo "== gofmt =="
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== vet =="
+go vet ./...
+
+echo "== steerq-lint =="
+go run ./cmd/steerq-lint ./...
+
+echo "== test (race) =="
+STEERQ_CHECK_PLANS=1 go test -race ./...
+
+if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
+    echo "== fuzz (short) =="
+    go test -fuzz=FuzzParse -fuzztime=15s ./internal/scopeql/
+    go test -fuzz=FuzzCompile -fuzztime=15s ./internal/scopeql/
+fi
+
+echo "CI OK"

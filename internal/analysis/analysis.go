@@ -1,0 +1,154 @@
+// Package analysis is a stdlib-only static-analysis engine (go/ast +
+// go/types, no external dependencies) enforcing steerq's project invariants:
+// the 256-rule catalog census, exhaustive handling of plan enumerations,
+// deterministic randomness, panic-free library code, and wrapped errors at
+// package boundaries.
+//
+// The engine mirrors the shape of golang.org/x/tools/go/analysis at a much
+// smaller scale: a Loader type-checks the whole module from source, each
+// Analyzer runs a single pass over one type-checked unit, and diagnostics
+// carry exact file:line:column positions. The driver lives in
+// cmd/steerq-lint.
+//
+// # Suppression pragma
+//
+// A statement may be exempted from panicfree by a comment containing the
+// token "steerq:allow-panic" on the same line or the line directly above,
+// together with a justification:
+//
+//	// steerq:allow-panic — mirrors slice indexing semantics.
+//	panic(fmt.Sprintf("bitvec: bit %d out of range", i))
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllowPanicPragma is the comment token that exempts the next (or same) line
+// from the panicfree analyzer. It must be followed by a justification.
+const AllowPanicPragma = "steerq:allow-panic"
+
+// Diagnostic is one finding, positioned at a concrete file location.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is a single-pass check over one type-checked unit.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SkipTests excludes units that contain _test.go files. Test code
+	// legitimately pattern-matches a few enum members or panics in helpers.
+	SkipTests bool
+	Run       func(*Pass)
+}
+
+// Pass hands one type-checked unit to an analyzer. Files holds only the
+// files diagnostics may be reported against (for test units, just the test
+// files — the base files were already analyzed in the base unit).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModulePath is the module's import-path prefix ("steerq").
+	ModulePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// LibraryPackage reports whether the pass's package is library code: inside
+// the module's internal/ tree. Binaries (cmd/, examples/) and external
+// modules are not library packages.
+func (p *Pass) LibraryPackage() bool {
+	return strings.HasPrefix(p.Pkg.Path(), p.ModulePath+"/internal/")
+}
+
+// allowedLines returns the set of file lines covered by an allow pragma: the
+// pragma's own line and the line below it, so the comment may sit on the
+// flagged line or directly above it.
+func allowedLines(fset *token.FileSet, f *ast.File, pragma string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, pragma) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// Analyzers returns every registered analyzer in a stable order.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		RuleCheck,
+		ExhaustiveSwitch,
+		RandCheck,
+		PanicFree,
+		ErrWrap,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// Run executes the analyzers over the units and returns all diagnostics
+// sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range units {
+		for _, a := range analyzers {
+			if a.SkipTests && u.Test {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       u.Fset,
+				Files:      u.Files,
+				Pkg:        u.Pkg,
+				Info:       u.Info,
+				ModulePath: u.ModulePath,
+				diags:      &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the error idiom at library package boundaries: every
+// fmt.Errorf format string starts with the package name ("pkg: ...") or
+// wraps an already-prefixed error ("%w ..."), and any error passed as an
+// argument is wrapped with %w rather than flattened with %v/%s, so callers
+// can errors.Is/As through the boundary.
+var ErrWrap = &Analyzer{
+	Name:      "errwrap",
+	Doc:       "fmt.Errorf in library packages must prefix the package name and wrap errors with %w",
+	SkipTests: true,
+	Run:       runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	if !pass.LibraryPackage() {
+		return
+	}
+	errType := errorInterface()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass, call.Fun, "fmt", "Errorf") || len(call.Args) == 0 {
+				return true
+			}
+			tv := pass.Info.Types[call.Args[0]]
+			if tv.Value == nil {
+				return true // non-constant format: out of scope
+			}
+			format, err := strconv.Unquote(tv.Value.ExactString())
+			if err != nil {
+				return true
+			}
+			prefix := pass.Pkg.Name() + ": "
+			if !strings.HasPrefix(format, prefix) && !strings.HasPrefix(format, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf format %q must start with %q (or wrap with a leading %%w)", format, prefix)
+			}
+			if strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				at := pass.Info.Types[arg].Type
+				if at != nil && types.Implements(at, errType) {
+					pass.Reportf(arg.Pos(), "error argument flattened by fmt.Errorf; wrap it with %%w")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether fun is a selector pkg.Name resolving to the
+// package with the given import path.
+func isPkgFunc(pass *Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// errorInterface returns the universe error interface type.
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

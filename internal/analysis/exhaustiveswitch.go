@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// trackedEnums are the plan enumerations whose switch statements must be
+// exhaustive or carry a default clause. A missed member here is exactly the
+// bug class that silently mis-costs or mis-validates new operators when the
+// enum grows.
+var trackedEnums = map[string]bool{
+	"steerq/internal/plan.PhysOp":       true,
+	"steerq/internal/plan.Op":           true,
+	"steerq/internal/plan.ExchangeKind": true,
+}
+
+// ExhaustiveSwitch flags switch statements over plan.PhysOp, plan.Op and
+// plan.ExchangeKind that neither cover every enum member nor declare a
+// default clause. Test units are skipped: tests legitimately match a few
+// members.
+var ExhaustiveSwitch = &Analyzer{
+	Name:      "exhaustiveswitch",
+	Doc:       "switches over plan enums must be exhaustive or have a default",
+	SkipTests: true,
+	Run:       runExhaustiveSwitch,
+}
+
+func runExhaustiveSwitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil {
+				return true
+			}
+			key := obj.Pkg().Path() + "." + obj.Name()
+			if !trackedEnums[key] {
+				return true
+			}
+			members := enumMembers(obj.Pkg(), named)
+			covered := make(map[int64]bool)
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if v := pass.Info.Types[e].Value; v != nil && v.Kind() == constant.Int {
+						if i, exact := constant.Int64Val(v); exact {
+							covered[i] = true
+						}
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.value] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default",
+					key, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+type enumMember struct {
+	name  string
+	value int64
+}
+
+// enumMembers collects the package-level constants of the named type in its
+// defining package, deduplicated by value (aliases like a MaxOp sentinel
+// would count once).
+func enumMembers(pkg *types.Package, named *types.Named) []enumMember {
+	scope := pkg.Scope()
+	seen := make(map[int64]bool)
+	var out []enumMember
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, exact := constant.Int64Val(c.Val())
+		if !exact || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, enumMember{name: name, value: v})
+	}
+	return out
+}

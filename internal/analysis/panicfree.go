@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PanicFree forbids naked panic(...) calls in library packages (internal/).
+// Library code must return errors; a panic that is genuinely load-bearing
+// (assertion of a static invariant, slice-indexing semantics) carries the
+// steerq:allow-panic pragma with a justification on the same or previous
+// line. Binaries (cmd/, examples/) and test files are exempt.
+var PanicFree = &Analyzer{
+	Name:      "panicfree",
+	Doc:       "library packages must not call panic without a steerq:allow-panic pragma",
+	SkipTests: true,
+	Run:       runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	if !pass.LibraryPackage() {
+		return
+	}
+	for _, f := range pass.Files {
+		allowed := allowedLines(pass.Fset, f, AllowPanicPragma)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Only the builtin: a local function named panic shadows it.
+			if obj := pass.Info.Uses[id]; obj == nil || obj.Pkg() != nil {
+				return true
+			}
+			if !allowed[pass.Fset.Position(call.Pos()).Line] {
+				pass.Reportf(call.Pos(), "naked panic in library package; return an error or annotate with %q and a justification", "// "+AllowPanicPragma)
+			}
+			return true
+		})
+	}
+}

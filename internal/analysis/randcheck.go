@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// RandCheck forbids importing math/rand (and math/rand/v2) anywhere but
+// internal/xrand. Every stochastic component must draw from xrand's
+// seed-derived streams so experiments stay reproducible: a stray math/rand
+// global would perturb results across runs and across unrelated code changes.
+// Test files are included — a test seeding math/rand directly is exactly the
+// nondeterminism the rule exists to prevent.
+var RandCheck = &Analyzer{
+	Name: "randcheck",
+	Doc:  "math/rand may be imported only by internal/xrand",
+	Run:  runRandCheck,
+}
+
+func runRandCheck(pass *Pass) {
+	if pass.Pkg.Path() == pass.ModulePath+"/internal/xrand" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/xrand; derive a stream from internal/xrand instead", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// Paper census (Table 2): the four category widths the 256-rule catalog must
+// reproduce exactly.
+const (
+	paperRequired       = 37
+	paperOffByDefault   = 46
+	paperOnByDefault    = 141
+	paperImplementation = 32
+	paperCatalog        = 256
+)
+
+// RuleCheck cross-checks the rule catalog of a package named "rules":
+//
+//   - every rule ID declared in ids.go is registered exactly once by
+//     catalog.go (explicitly via mk(...)/cascades.RuleInfo{...} or through a
+//     declaredBlock range), with no overlaps and no gaps in [0, catalogEnd);
+//   - each registration's category matches its ID band (required,
+//     off-by-default, on-by-default, implementation boundaries);
+//   - when catalogEnd is 256, the band widths reproduce the paper's
+//     37/46/141/32 split;
+//   - registered rule names are unique;
+//   - every ID constant is referenced by some registration (an unreferenced
+//     constant is catalog drift);
+//   - every rule struct literal (a type with an Apply or Implement method)
+//     initializes its info field via mk(...), so the engine stamps the
+//     catalog-declared RuleID into plan operators rather than a zero ID.
+//
+// The analyzer understands the registration idioms of
+// internal/rules/catalog.go; a new idiom must extend this analyzer or it
+// will be reported as an unregistered ID.
+var RuleCheck = &Analyzer{
+	Name:      "rulecheck",
+	Doc:       "rule catalog census, attribution and registration invariants",
+	SkipTests: true,
+	Run:       runRuleCheck,
+}
+
+// registration is one claimed rule ID.
+type registration struct {
+	id   int64
+	name string
+	cat  int64
+	pos  token.Pos
+}
+
+func runRuleCheck(pass *Pass) {
+	if pass.Pkg.Name() != "rules" {
+		return
+	}
+	c := &ruleChecker{pass: pass, idConsts: make(map[string]*idConst), stringLists: make(map[types.Object][]string)}
+	c.collectConsts()
+	c.collectStringLists()
+	for _, f := range pass.Files {
+		c.collectRegistrations(f)
+		c.checkRuleLiterals(f)
+	}
+	c.checkClaims()
+	c.checkNames()
+	c.checkUnusedConsts()
+}
+
+type idConst struct {
+	obj   types.Object
+	value int64
+	pos   token.Pos
+	used  bool
+}
+
+type ruleChecker struct {
+	pass        *Pass
+	idConsts    map[string]*idConst
+	stringLists map[types.Object][]string
+	regs        []registration
+
+	// Band boundaries from ids.go; boundariesOK is true when all four were
+	// found.
+	requiredEnd, offEnd, onEnd, catalogEnd int64
+	boundariesOK                           bool
+	boundaryPos                            token.Pos
+}
+
+// collectConsts gathers the ID* rule constants and the band boundary
+// constants from the package scope.
+func (c *ruleChecker) collectConsts() {
+	scope := c.pass.Pkg.Scope()
+	found := 0
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		v, exact := constant.Int64Val(obj.Val())
+		if !exact {
+			continue
+		}
+		switch name {
+		case "requiredEnd":
+			c.requiredEnd, found = v, found+1
+			c.boundaryPos = obj.Pos()
+		case "offByDefaultEnd":
+			c.offEnd, found = v, found+1
+		case "onByDefaultEnd":
+			c.onEnd, found = v, found+1
+		case "catalogEnd":
+			c.catalogEnd, found = v, found+1
+		default:
+			if len(name) > 2 && name[:2] == "ID" {
+				c.idConsts[name] = &idConst{obj: obj, value: v, pos: obj.Pos()}
+			}
+		}
+	}
+	c.boundariesOK = found == 4
+	if c.boundariesOK && c.catalogEnd == paperCatalog {
+		widths := [4]int64{c.requiredEnd, c.offEnd - c.requiredEnd, c.onEnd - c.offEnd, c.catalogEnd - c.onEnd}
+		want := [4]int64{paperRequired, paperOffByDefault, paperOnByDefault, paperImplementation}
+		if widths != want {
+			c.pass.Reportf(c.boundaryPos, "category bands %d/%d/%d/%d do not match the paper's %d/%d/%d/%d split",
+				widths[0], widths[1], widths[2], widths[3], want[0], want[1], want[2], want[3])
+		}
+	}
+}
+
+// collectStringLists maps package-level []string variables to their literal
+// element values (the declaredRequired/... name lists).
+func (c *ruleChecker) collectStringLists() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					var elems []string
+					valid := true
+					for _, e := range cl.Elts {
+						v := c.pass.Info.Types[e].Value
+						if v == nil || v.Kind() != constant.String {
+							valid = false
+							break
+						}
+						elems = append(elems, constant.StringVal(v))
+					}
+					if valid && len(elems) > 0 {
+						if obj := c.pass.Info.Defs[name]; obj != nil {
+							c.stringLists[obj] = elems
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectRegistrations walks one file for the three registration idioms.
+func (c *ruleChecker) collectRegistrations(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "mk" && len(n.Args) >= 3 {
+				c.addExplicit(n.Args[0], n.Args[1], n.Args[2], n.Pos())
+			}
+		case *ast.CompositeLit:
+			switch c.litTypeName(n) {
+			case "RuleInfo":
+				var idE, nameE, catE ast.Expr
+				for _, e := range n.Elts {
+					kv, ok := e.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					switch key := kv.Key.(*ast.Ident); key.Name {
+					case "ID":
+						idE = kv.Value
+					case "Name":
+						nameE = kv.Value
+					case "Category":
+						catE = kv.Value
+					}
+				}
+				if idE != nil && c.pass.Info.Types[idE].Value != nil {
+					c.addExplicit(idE, nameE, catE, n.Pos())
+				}
+			case "declaredBlock":
+				c.addBlock(n)
+			}
+		}
+		return true
+	})
+}
+
+// litTypeName returns the named type of a composite literal, if any.
+func (c *ruleChecker) litTypeName(n *ast.CompositeLit) string {
+	tv, ok := c.pass.Info.Types[n]
+	if !ok {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// addExplicit records one mk(...) or RuleInfo{...} registration with a
+// constant ID.
+func (c *ruleChecker) addExplicit(idE, nameE, catE ast.Expr, pos token.Pos) {
+	v := c.pass.Info.Types[idE].Value
+	if v == nil {
+		return // non-constant ID (e.g. the literal inside mk's own body)
+	}
+	id, exact := constant.Int64Val(v)
+	if !exact {
+		return
+	}
+	reg := registration{id: id, pos: pos, cat: -1}
+	if nameE != nil {
+		if nv := c.pass.Info.Types[nameE].Value; nv != nil && nv.Kind() == constant.String {
+			reg.name = constant.StringVal(nv)
+		}
+	}
+	if catE != nil {
+		if cv := c.pass.Info.Types[catE].Value; cv != nil {
+			if cvi, ok := constant.Int64Val(cv); ok {
+				reg.cat = cvi
+			}
+		}
+	}
+	c.markConstUsed(idE)
+	c.regs = append(c.regs, reg)
+}
+
+// addBlock expands a declaredBlock{first, names, cat} literal into one
+// registration per listed name.
+func (c *ruleChecker) addBlock(n *ast.CompositeLit) {
+	var firstE, namesE, catE ast.Expr
+	for _, e := range n.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		switch key := kv.Key.(*ast.Ident); key.Name {
+		case "first":
+			firstE = kv.Value
+		case "names":
+			namesE = kv.Value
+		case "cat":
+			catE = kv.Value
+		}
+	}
+	if firstE == nil || namesE == nil || catE == nil {
+		c.pass.Reportf(n.Pos(), "declaredBlock literal must set first, names and cat")
+		return
+	}
+	fv := c.pass.Info.Types[firstE].Value
+	cv := c.pass.Info.Types[catE].Value
+	if fv == nil || cv == nil {
+		c.pass.Reportf(n.Pos(), "declaredBlock first and cat must be constant expressions")
+		return
+	}
+	first, _ := constant.Int64Val(fv)
+	cat, _ := constant.Int64Val(cv)
+	id, ok := namesE.(*ast.Ident)
+	if !ok {
+		c.pass.Reportf(namesE.Pos(), "declaredBlock names must reference a package-level []string literal")
+		return
+	}
+	names, ok := c.stringLists[c.pass.Info.Uses[id]]
+	if !ok {
+		c.pass.Reportf(namesE.Pos(), "declaredBlock names %s does not resolve to a []string literal", id.Name)
+		return
+	}
+	c.markConstUsed(firstE)
+	for i, name := range names {
+		c.regs = append(c.regs, registration{id: first + int64(i), name: name, cat: cat, pos: n.Pos()})
+	}
+}
+
+// markConstUsed marks any ID* constants referenced by the expression.
+func (c *ruleChecker) markConstUsed(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.Info.Uses[id]; obj != nil {
+				if ic, ok := c.idConsts[obj.Name()]; ok && ic.obj == obj {
+					ic.used = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// band returns the category an ID's band implies.
+func (c *ruleChecker) band(id int64) int64 {
+	switch {
+	case id < c.requiredEnd:
+		return 0 // cascades.Required
+	case id < c.offEnd:
+		return 1 // cascades.OffByDefault
+	case id < c.onEnd:
+		return 2 // cascades.OnByDefault
+	default:
+		return 3 // cascades.Implementation
+	}
+}
+
+var categoryNames = [...]string{"required", "off-by-default", "on-by-default", "implementation"}
+
+// checkClaims verifies exactly-once registration over [0, catalogEnd) and
+// band/category agreement.
+func (c *ruleChecker) checkClaims() {
+	byID := make(map[int64][]registration)
+	for _, r := range c.regs {
+		byID[r.id] = append(byID[r.id], r)
+	}
+	for id, rs := range byID {
+		if len(rs) > 1 {
+			sort.Slice(rs, func(i, j int) bool { return rs[i].pos < rs[j].pos })
+			for _, r := range rs[1:] {
+				c.pass.Reportf(r.pos, "rule ID %d (%s) registered more than once (first as %q)", id, r.name, rs[0].name)
+			}
+		}
+		if c.boundariesOK {
+			want := c.band(id)
+			for _, r := range rs {
+				if r.cat >= 0 && r.cat != want {
+					c.pass.Reportf(r.pos, "rule ID %d (%s) registered as %s but its band is %s",
+						id, r.name, catName(r.cat), catName(want))
+				}
+			}
+		}
+	}
+	if !c.boundariesOK || c.catalogEnd <= 0 {
+		return
+	}
+	var gaps []string
+	for start := int64(0); start < c.catalogEnd; start++ {
+		if _, ok := byID[start]; ok {
+			continue
+		}
+		end := start
+		for end+1 < c.catalogEnd {
+			if _, ok := byID[end+1]; ok {
+				break
+			}
+			end++
+		}
+		if start == end {
+			gaps = append(gaps, strconv.FormatInt(start, 10))
+		} else {
+			gaps = append(gaps, fmt.Sprintf("%d-%d", start, end))
+		}
+		start = end
+	}
+	if len(gaps) > 0 {
+		c.pass.Reportf(c.boundaryPos, "rule IDs %v declared by the catalog bands but never registered", gaps)
+	}
+}
+
+func catName(cat int64) string {
+	if cat >= 0 && int(cat) < len(categoryNames) {
+		return categoryNames[cat]
+	}
+	return fmt.Sprintf("category(%d)", cat)
+}
+
+// checkNames verifies registered rule names are unique.
+func (c *ruleChecker) checkNames() {
+	seen := make(map[string]registration)
+	regs := append([]registration(nil), c.regs...)
+	sort.Slice(regs, func(i, j int) bool { return regs[i].pos < regs[j].pos })
+	for _, r := range regs {
+		if r.name == "" {
+			continue
+		}
+		if prev, dup := seen[r.name]; dup {
+			c.pass.Reportf(r.pos, "rule name %q already registered for ID %d", r.name, prev.id)
+			continue
+		}
+		seen[r.name] = r
+	}
+}
+
+// checkUnusedConsts flags ID constants no registration references: a
+// declared-but-unregistered rule ID silently drifts from the catalog.
+func (c *ruleChecker) checkUnusedConsts() {
+	names := make([]string, 0, len(c.idConsts))
+	for name := range c.idConsts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ic := c.idConsts[name]
+		if !ic.used {
+			c.pass.Reportf(ic.pos, "rule ID constant %s (=%d) is never used by a catalog registration", name, ic.value)
+		}
+	}
+}
+
+// checkRuleLiterals requires every composite literal of a rule type (a named
+// struct in this package with an Apply or Implement method) to stamp its
+// info field via mk(...), so Info().ID is the catalog-declared rule ID.
+func (c *ruleChecker) checkRuleLiterals(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := c.pass.Info.Types[cl]
+		if !ok {
+			return true
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok || named.Obj().Pkg() != c.pass.Pkg {
+			return true
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return true
+		}
+		if !hasRuleMethod(named) {
+			return true
+		}
+		for _, e := range cl.Elts {
+			if kv, ok := e.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "info" {
+					if _, isCall := kv.Value.(*ast.CallExpr); isCall {
+						return true
+					}
+					c.pass.Reportf(kv.Value.Pos(), "rule %s: info must be stamped via mk(ID..., ...)", named.Obj().Name())
+					return true
+				}
+			}
+		}
+		c.pass.Reportf(cl.Pos(), "rule %s constructed without info: the engine would stamp rule ID 0 into its plan operators", named.Obj().Name())
+		return true
+	})
+}
+
+// hasRuleMethod reports whether the type (or its pointer) declares an Apply
+// or Implement method — the TransformRule/ImplementRule signatures.
+func hasRuleMethod(named *types.Named) bool {
+	for _, name := range []string{"Apply", "Implement"} {
+		if obj, _, _ := types.LookupFieldOrMethod(named, true, named.Obj().Pkg(), name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+// Package errbad seeds violations for the errwrap analyzer.
+package errbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("errbad: base")
+
+// BadPrefix builds an error without the package-name prefix.
+func BadPrefix(n int) error {
+	return fmt.Errorf("lookup failed for %d", n) // want "must start with"
+}
+
+// BadFlatten loses the error chain by formatting with %v.
+func BadFlatten() error {
+	return fmt.Errorf("errbad: open failed: %v", errBase) // want "wrap it with %w"
+}
+
+// GoodPrefix wraps with the package prefix and %w.
+func GoodPrefix() error {
+	return fmt.Errorf("errbad: open failed: %w", errBase)
+}
+
+// GoodRewrap adds context in front of an already-prefixed error.
+func GoodRewrap(err error) error {
+	return fmt.Errorf("%w (while retrying)", err)
+}

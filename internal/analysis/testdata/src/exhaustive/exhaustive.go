@@ -1,0 +1,73 @@
+// Package exhaustive seeds violations for the exhaustiveswitch analyzer.
+package exhaustive
+
+import "steerq/internal/plan"
+
+func describePhys(op plan.PhysOp) string {
+	switch op { // want "switch over steerq/internal/plan.PhysOp misses"
+	case plan.PhysExtract, plan.PhysRangeScan:
+		return "scan"
+	case plan.PhysHashJoin:
+		return "join"
+	}
+	return ""
+}
+
+func describeOp(op plan.Op) string {
+	switch op { // want "switch over steerq/internal/plan.Op misses"
+	case plan.OpGet:
+		return "get"
+	}
+	return ""
+}
+
+func withDefault(op plan.PhysOp) string {
+	switch op {
+	case plan.PhysExtract:
+		return "scan"
+	default:
+		return "other"
+	}
+}
+
+func exhaustiveExchange(k plan.ExchangeKind) string {
+	switch k {
+	case plan.ExchangeShuffle:
+		return "shuffle"
+	case plan.ExchangeBroadcast:
+		return "broadcast"
+	case plan.ExchangeGather:
+		return "gather"
+	case plan.ExchangeInitial:
+		return "initial"
+	}
+	return ""
+}
+
+func partialExchange(k plan.ExchangeKind) string {
+	switch k { // want "switch over steerq/internal/plan.ExchangeKind misses ExchangeInitial"
+	case plan.ExchangeShuffle:
+		return "shuffle"
+	case plan.ExchangeBroadcast:
+		return "broadcast"
+	case plan.ExchangeGather:
+		return "gather"
+	}
+	return ""
+}
+
+// localKind is not a tracked enum; partial switches over it are fine.
+type localKind int
+
+const (
+	kindA localKind = iota
+	kindB
+)
+
+func describeLocal(k localKind) string {
+	switch k {
+	case kindA:
+		return "a"
+	}
+	return ""
+}

@@ -1,0 +1,32 @@
+// Package panicbad seeds violations for the panicfree analyzer.
+package panicbad
+
+import "fmt"
+
+// Bad panics without a pragma.
+func Bad(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("panicbad: negative %d", i)) // want "naked panic in library package"
+	}
+}
+
+// AllowedAbove carries the pragma on the line above.
+func AllowedAbove(i int) {
+	if i < 0 {
+		// steerq:allow-panic — fixture: assertion of a static invariant.
+		panic("panicbad: negative")
+	}
+}
+
+// AllowedSameLine carries the pragma on the panic line.
+func AllowedSameLine(i int) {
+	if i < 0 {
+		panic("panicbad: negative") // steerq:allow-panic — fixture justification.
+	}
+}
+
+// Shadowed calls a local function named panic, not the builtin.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

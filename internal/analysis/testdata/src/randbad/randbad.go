@@ -1,0 +1,14 @@
+// Package randbad seeds violations for the randcheck analyzer.
+package randbad
+
+import (
+	"math/rand" // want "import of math/rand outside internal/xrand"
+
+	"steerq/internal/xrand"
+)
+
+// Bad draws from a process-global math/rand stream: not reproducible.
+func Bad() int { return rand.Int() }
+
+// Good derives a seeded stream.
+func Good() int { return xrand.New(1).Intn(10) }

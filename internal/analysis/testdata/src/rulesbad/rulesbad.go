@@ -1,0 +1,55 @@
+// Package rules (fixture "rulesbad") seeds violations for the rulecheck
+// analyzer: a miniature 8-rule catalog with a duplicate registration, a
+// band/category mismatch, a duplicate name, coverage gaps, an orphaned ID
+// constant, and a rule literal missing its info stamp.
+package rules
+
+import "steerq/internal/cascades"
+
+const (
+	IDAlpha  = 0
+	IDBeta   = 1
+	IDGamma  = 2
+	IDOrphan = 3 // want "never used by a catalog registration"
+)
+
+const (
+	requiredEnd     = 2 // want "never registered"
+	offByDefaultEnd = 4
+	onByDefaultEnd  = 6
+	catalogEnd      = 8
+)
+
+type info cascades.RuleInfo
+
+func (i info) Info() cascades.RuleInfo { return cascades.RuleInfo(i) }
+
+type demoRule struct {
+	info
+}
+
+func (demoRule) Apply() {}
+
+func mk(id int, name string, cat cascades.Category) info {
+	return info(cascades.RuleInfo{ID: id, Name: name, Category: cat})
+}
+
+var catalog = []demoRule{
+	{info: mk(IDAlpha, "Alpha", cascades.Required)},
+	{info: mk(IDAlpha, "AlphaDup", cascades.Required)}, // want "registered more than once"
+	{info: mk(IDBeta, "Alpha", cascades.Required)},     // want "already registered for ID 0"
+	{info: mk(IDGamma, "Gamma", cascades.OnByDefault)}, // want "but its band is off-by-default"
+	{}, // want "constructed without info"
+}
+
+type declaredBlock struct {
+	first int
+	names []string
+	cat   cascades.Category
+}
+
+var declaredNames = []string{"DeclaredFour", "DeclaredFive"}
+
+var blocks = []declaredBlock{
+	{first: 4, names: declaredNames, cat: cascades.OnByDefault},
+}

@@ -51,6 +51,7 @@ func New(positions ...int) Vector {
 // It panics if n is negative or greater than Width.
 func AllSet(n int) Vector {
 	if n < 0 || n > Width {
+		// steerq:allow-panic — documented slice-indexing semantics; the tests assert it.
 		panic(fmt.Sprintf("bitvec: AllSet(%d) out of range [0,%d]", n, Width))
 	}
 	var v Vector
@@ -62,6 +63,7 @@ func AllSet(n int) Vector {
 
 func check(i int) {
 	if i < 0 || i >= Width {
+		// steerq:allow-panic — out-of-range bit access is a caller bug, like s[i] past len(s).
 		panic(fmt.Sprintf("bitvec: bit %d out of range [0,%d)", i, Width))
 	}
 }

@@ -4,6 +4,7 @@ package cascades_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"steerq/internal/bitvec"
@@ -462,5 +463,49 @@ func TestValidateCatchesBrokenPlans(t *testing.T) {
 	}
 	if err := cascades.Validate(good, 50); err != nil {
 		t.Errorf("validator rejected a good plan: %v", err)
+	}
+}
+
+// TestValidateReturnsAllViolations injects several independent defects into
+// one plan and checks the multi-error Validate reports every one of them,
+// not just the first.
+func TestValidateReturnsAllViolations(t *testing.T) {
+	k := plan.Column{ID: 1, Name: "k", Source: "f1.k"}
+	schema := []plan.Column{k}
+	scan := &plan.PhysNode{Op: plan.PhysExtract, Table: "f1", Schema: schema, RuleID: 3,
+		Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 4}}
+	// Defect 1: a broadcast exchange delivering a random distribution.
+	exch := &plan.PhysNode{Op: plan.PhysExchange, Exchange: plan.ExchangeBroadcast,
+		Schema: schema, RuleID: 0,
+		Children: []*plan.PhysNode{scan},
+		Dist:     plan.Distribution{Kind: plan.DistRandom, DOP: 4}}
+	// Defects 2-4 on the root: schema invents column 9 the child does not
+	// produce, DOP exceeds the maximum, and the rule attribution is missing.
+	root := &plan.PhysNode{Op: plan.PhysFilter,
+		Schema:   []plan.Column{k, {ID: 9, Name: "ghost"}},
+		RuleID:   -1,
+		Children: []*plan.PhysNode{exch},
+		Dist:     plan.Distribution{Kind: plan.DistRandom, DOP: 99}}
+
+	err := cascades.Validate(root, 50)
+	if err == nil {
+		t.Fatal("validator accepted a plan with four defects")
+	}
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("Validate did not return a joined multi-error: %T: %v", err, err)
+	}
+	if n := len(joined.Unwrap()); n < 4 {
+		t.Errorf("Validate reported %d violations, want at least 4:\n%v", n, err)
+	}
+	for _, want := range []string{
+		"broadcast delivering",
+		"does not preserve child schema",
+		"DOP 99 outside [1, 50]",
+		"without rule attribution",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing violation %q in:\n%v", want, err)
+		}
 	}
 }

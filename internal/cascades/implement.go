@@ -210,12 +210,13 @@ func (s *search) chooseOpDOP(p *pexpr) int {
 			return maxInt(p.children[0].dop, 1)
 		}
 		return 1
+	default:
+		// Everything else consumes its (first) child's partitions in place.
+		if len(p.children) > 0 {
+			return maxInt(p.children[0].dop, 1)
+		}
+		return 1
 	}
-	// Everything else consumes its (first) child's partitions in place.
-	if len(p.children) > 0 {
-		return maxInt(p.children[0].dop, 1)
-	}
-	return 1
 }
 
 func (s *search) maxDOP() int {
@@ -337,6 +338,8 @@ func (s *search) wrapLocalPre(inner *pexpr, proto *PhysProto, e *MExpr, ruleID i
 		outRows = minFloat(inner.rows, final.Rows*float64(maxInt(inner.dop, 1)))
 	case plan.PhysLocalTop:
 		outRows = minFloat(inner.rows, float64(proto.Node.TopN*maxInt(inner.dop, 1)))
+	default:
+		// No other operator is used as a local pre-phase.
 	}
 	preProps := inner.props.Clone()
 	preProps.Rows = maxFloat(1, outRows)

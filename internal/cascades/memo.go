@@ -276,6 +276,8 @@ func exprKey(n *plan.Node, children []*Group) string {
 		}
 	case plan.OpOutput:
 		b.WriteString(n.OutputPath)
+	default:
+		// OpUnionAll, OpMulti: structure alone (children below) is the key.
 	}
 	// Schema IDs distinguish otherwise identical payloads over different
 	// column identities (e.g. two scans of the same stream bound twice).

@@ -124,6 +124,7 @@ func New() *Catalog {
 // constructed once by generators, and a duplicate indicates a generator bug.
 func (c *Catalog) AddStream(s *Stream) {
 	if _, dup := c.streams[s.Name]; dup {
+		// steerq:allow-panic — catalogs are built once by generators; a duplicate is a generator bug.
 		panic(fmt.Sprintf("catalog: duplicate stream %q", s.Name))
 	}
 	c.streams[s.Name] = s
@@ -134,6 +135,7 @@ func (c *Catalog) AddStream(s *Stream) {
 // AddUDO registers a user-defined operator.
 func (c *Catalog) AddUDO(u *UDO) {
 	if _, dup := c.udos[u.Name]; dup {
+		// steerq:allow-panic — catalogs are built once by generators; a duplicate is a generator bug.
 		panic(fmt.Sprintf("catalog: duplicate UDO %q", u.Name))
 	}
 	c.udos[u.Name] = u

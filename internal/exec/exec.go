@@ -23,8 +23,10 @@ package exec
 import (
 	"fmt"
 	"math"
+	"os"
 	"strings"
 
+	"steerq/internal/cascades"
 	"steerq/internal/catalog"
 	"steerq/internal/cost"
 	"steerq/internal/plan"
@@ -66,6 +68,12 @@ type Executor struct {
 	// HotSpotProb is the chance a stage lands on a hot node and slows
 	// down. Zero means the default.
 	HotSpotProb float64
+
+	// CheckPlans runs cascades.Validate on every plan before executing it
+	// and fails loudly on a violation. New enables it when the
+	// STEERQ_CHECK_PLANS environment variable is non-empty; harnesses may
+	// also set it directly.
+	CheckPlans bool
 }
 
 // New returns an executor with default rates for the given catalog.
@@ -77,6 +85,7 @@ func New(cat *catalog.Catalog, seed uint64) *Executor {
 		Seed:        seed,
 		BaseSigma:   0.05,
 		HotSpotProb: 0.02,
+		CheckPlans:  os.Getenv("STEERQ_CHECK_PLANS") != "",
 	}
 }
 
@@ -84,6 +93,14 @@ func New(cat *catalog.Catalog, seed uint64) *Executor {
 // the same plan (job instance ID, attempt number): different tags see
 // different noise, identical tags reproduce identical metrics.
 func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
+	if x.CheckPlans {
+		if err := cascades.Validate(p, 0); err != nil {
+			// Executing a structurally broken plan would produce garbage
+			// metrics silently; when checking is on, stop the experiment.
+			// steerq:allow-panic
+			panic(fmt.Sprintf("exec: STEERQ_CHECK_PLANS: job %q day %d: %v", tag, day, err))
+		}
+	}
 	oracle := cost.NewTrue(x.Cat, day)
 	props := make(map[*plan.PhysNode]cost.Props)
 	x.trueProps(p, oracle, props)
@@ -149,8 +166,9 @@ func isStageHead(op plan.PhysOp) bool {
 	switch op {
 	case plan.PhysExchange, plan.PhysExtract, plan.PhysRangeScan:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // nodeUsage costs one node with true statistics, the plan's DOP, skew
@@ -196,6 +214,8 @@ func (x *Executor) nodeUsage(n *plan.PhysNode, props map[*plan.PhysNode]cost.Pro
 			b := x.buildSide(n, props)
 			params.BuildRows = props[n.Children[b]].Rows
 			params.ProbeRows = props[n.Children[1-b]].Rows
+		default:
+			// Binary but not a join: no build/probe split to cost.
 		}
 	}
 	u := x.Coster.Cost(params)
@@ -229,8 +249,7 @@ func (x *Executor) nodeUsage(n *plan.PhysNode, props map[*plan.PhysNode]cost.Pro
 // whichever side the optimizer *estimated* smaller — re-derive from the
 // plan's estimates, not the truth, since the executor must honor the plan).
 func (x *Executor) buildSide(n *plan.PhysNode, props map[*plan.PhysNode]cost.Props) int {
-	switch n.Op {
-	case plan.PhysHashJoinAlt, plan.PhysLoopJoin:
+	if n.Op == plan.PhysHashJoinAlt || n.Op == plan.PhysLoopJoin {
 		return 1 // always builds the (broadcast) right side
 	}
 	// HashJoin / MergeJoin: the plan committed to the side with the

@@ -133,16 +133,22 @@ func TestSkewPenaltyOnHotKeyShuffle(t *testing.T) {
 		Dist: plan.Distribution{Kind: plan.DistRandom, DOP: 20}, RuleID: 3,
 	}
 	mk := func(keys []plan.ColumnID) *plan.PhysNode {
+		// A keyless shuffle is a random repartition; only the hash variant
+		// carries keys (and only it can hit skew).
+		dist := plan.Distribution{Kind: plan.DistRandom, DOP: 20}
+		if len(keys) > 0 {
+			dist = plan.Distribution{Kind: plan.DistHash, Keys: keys, DOP: 20}
+		}
 		ex := &plan.PhysNode{
 			Op: plan.PhysExchange, Exchange: plan.ExchangeShuffle, Schema: schema,
 			Children: []*plan.PhysNode{scan},
-			Dist:     plan.Distribution{Kind: plan.DistHash, Keys: keys, DOP: 20},
+			Dist:     dist,
 			RuleID:   0,
 		}
 		return &plan.PhysNode{
 			Op: plan.PhysOutputImpl, Schema: schema, OutputPath: "o",
 			Children: []*plan.PhysNode{ex},
-			Dist:     plan.Distribution{Kind: plan.DistHash, Keys: keys, DOP: 20},
+			Dist:     dist,
 			RuleID:   2,
 		}
 	}
@@ -225,5 +231,41 @@ func TestExplainMatchesRun(t *testing.T) {
 	s := rep.String()
 	if !strings.Contains(s, "Extract") || !strings.Contains(s, "runtime") {
 		t.Fatalf("report rendering incomplete:\n%s", s)
+	}
+}
+
+func TestCheckPlansEnvToggle(t *testing.T) {
+	t.Setenv("STEERQ_CHECK_PLANS", "1")
+	x := New(execCatalog(), 42)
+	if !x.CheckPlans {
+		t.Fatal("STEERQ_CHECK_PLANS=1 did not enable plan checking")
+	}
+	// A valid plan runs normally under checking.
+	if m := x.Run(scanPlan(10), 0, "job"); m.RuntimeSec <= 0 {
+		t.Fatalf("checked run produced bad metrics: %+v", m)
+	}
+	// A broken plan stops the run.
+	broken := scanPlan(10)
+	broken.RuleID = -1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("broken plan executed despite STEERQ_CHECK_PLANS")
+		}
+	}()
+	x.Run(broken, 0, "job")
+}
+
+func TestCheckPlansOffByDefault(t *testing.T) {
+	t.Setenv("STEERQ_CHECK_PLANS", "")
+	x := New(execCatalog(), 42)
+	if x.CheckPlans {
+		t.Fatal("plan checking on without STEERQ_CHECK_PLANS")
+	}
+	// Without the toggle, even a defective plan executes (the simulator is
+	// lenient by default; validation is an opt-in assertion).
+	broken := scanPlan(10)
+	broken.RuleID = -1
+	if m := x.Run(broken, 0, "job"); m.RuntimeSec <= 0 {
+		t.Fatalf("unchecked run produced bad metrics: %+v", m)
 	}
 }

@@ -78,8 +78,9 @@ func nodeDetail(n *plan.PhysNode) string {
 		return n.Processor
 	case plan.PhysOutputImpl:
 		return n.OutputPath
+	default:
+		return ""
 	}
-	return ""
 }
 
 // Render prints the report as an aligned table, worst mis-estimates flagged.

@@ -49,6 +49,10 @@ type Config struct {
 	LearnMinMedianSec float64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// CheckPlans validates every executed plan (cascades.Validate) before
+	// running it. The STEERQ_CHECK_PLANS environment variable also enables
+	// it, via exec.New.
+	CheckPlans bool
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -113,6 +117,7 @@ func (r *Runner) Workload(name string) *workload.Workload {
 	case "C":
 		p = workload.ProfileC(r.Cfg.Scale, r.Cfg.Seed)
 	default:
+		// steerq:allow-panic — workload names come from the experiment table, not user input.
 		panic("experiments: unknown workload " + name)
 	}
 	w := workload.Generate(p)
@@ -120,7 +125,9 @@ func (r *Runner) Workload(name string) *workload.Workload {
 	return w
 }
 
-// Harness returns the A/B harness for a workload.
+// Harness returns the A/B harness for a workload. With STEERQ_CHECK_PLANS
+// set in the environment (or Config.CheckPlans), every plan the experiments
+// execute is first run through cascades.Validate.
 func (r *Runner) Harness(name string) *abtest.Harness {
 	if h, ok := r.harnesses[name]; ok {
 		return h
@@ -128,6 +135,9 @@ func (r *Runner) Harness(name string) *abtest.Harness {
 	w := r.Workload(name)
 	opt := rules.NewOptimizer(cost.NewEstimated(w.Cat))
 	h := abtest.New(w.Cat, opt, r.Cfg.Seed+1)
+	if r.Cfg.CheckPlans {
+		h.Executor.CheckPlans = true
+	}
 	r.harnesses[name] = h
 	return h
 }

@@ -256,3 +256,30 @@ func TestExtensionsSmoke(t *testing.T) {
 	e.Render(&buf)
 	t.Logf("\n%s", buf.String())
 }
+
+// TestCheckedPlansSmoke runs a small day end-to-end with STEERQ_CHECK_PLANS
+// set: every plan the harness executes passes cascades.Validate or the run
+// panics. This is the acceptance gate for the validator's invariants against
+// real optimizer output.
+func TestCheckedPlansSmoke(t *testing.T) {
+	t.Setenv("STEERQ_CHECK_PLANS", "1")
+	cfg := tinyConfig()
+	cfg.CheckPlans = true
+	r := NewRunner(cfg)
+	if !r.Executor("A").CheckPlans {
+		t.Fatal("harness executor did not pick up CheckPlans")
+	}
+	jobs := r.Day("A", 0)
+	if len(jobs) == 0 {
+		t.Fatal("empty day")
+	}
+	if len(jobs) > 25 {
+		jobs = jobs[:25]
+	}
+	for _, j := range jobs {
+		tr := r.DefaultTrial("A", j)
+		if tr.Metrics.RuntimeSec <= 0 {
+			t.Fatalf("job %s: bad checked trial %+v", j.ID, tr.Metrics)
+		}
+	}
+}

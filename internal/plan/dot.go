@@ -56,6 +56,8 @@ func dotLabel(n *PhysNode) string {
 		fmt.Fprintf(&b, "\n%s", n.Processor)
 	case PhysOutputImpl:
 		fmt.Fprintf(&b, "\n%s", n.OutputPath)
+	default:
+		// Joins, aggregations, sorts etc. have no extra payload to label.
 	}
 	fmt.Fprintf(&b, "\n%s | rows=%.3g | cost=%.2f", n.Dist, n.EstRows, n.EstCost)
 	return b.String()

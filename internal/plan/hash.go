@@ -80,6 +80,8 @@ func hashNode(h io.Writer, n *Node, withLiterals bool) {
 		}
 	case OpOutput:
 		io.WriteString(h, n.OutputPath)
+	default:
+		// OpUnionAll, OpMulti: no payload beyond the operator and children.
 	}
 	fmt.Fprintf(h, "#%d(", len(n.Children))
 	for _, c := range n.Children {

@@ -115,6 +115,7 @@ func NewGroupBy(child *Node, keys []Column, aggs []Agg) *Node {
 // schema is taken from the first child.
 func NewUnionAll(children ...*Node) *Node {
 	if len(children) == 0 {
+		// steerq:allow-panic — constructor misuse, caught at generator-authoring time.
 		panic("plan: UnionAll needs at least one child")
 	}
 	return &Node{Op: OpUnionAll, Children: children, Schema: children[0].Schema}
@@ -263,6 +264,7 @@ func (n *Node) payload() string {
 		return fmt.Sprintf("(%d)", n.TopN)
 	case OpOutput:
 		return fmt.Sprintf("(%s)", n.OutputPath)
+	default:
+		return "" // OpUnionAll, OpMulti: children carry all the information
 	}
-	return ""
 }

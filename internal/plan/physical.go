@@ -251,6 +251,7 @@ func (n *PhysNode) physPayload() string {
 		return fmt.Sprintf("(%s)", n.OutputPath)
 	case PhysLocalTop, PhysGlobalTop:
 		return fmt.Sprintf("(%d)", n.TopN)
+	default:
+		return ""
 	}
-	return ""
 }

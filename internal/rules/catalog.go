@@ -11,6 +11,19 @@ import (
 // paper: 37 required, 46 off-by-default, 141 on-by-default, 32
 // implementation.
 func Catalog() *cascades.RuleSet {
+	rs, err := buildCatalog()
+	if err != nil {
+		// The catalog is static data; buildCatalog only fails on a
+		// programming error, which lint and the golden test catch.
+		// steerq:allow-panic
+		panic(err)
+	}
+	return rs
+}
+
+// buildCatalog constructs and census-checks the rule set, reporting any
+// catalog defect as an error.
+func buildCatalog() (*cascades.RuleSet, error) {
 	mk := func(id int, name string, cat cascades.Category) info {
 		return info(cascades.RuleInfo{ID: id, Name: name, Category: cat})
 	}
@@ -79,42 +92,37 @@ func Catalog() *cascades.RuleSet {
 		cascades.RuleInfo{ID: IDEnforceExchange, Name: "EnforceExchange", Category: cascades.Required},
 		cascades.RuleInfo{ID: IDEnforceSortOrder, Name: "EnforceSortOrder", Category: cascades.Required},
 	)
-	next := 7 // after the real required rules
-	for _, name := range declaredRequired {
-		extra = append(extra, cascades.RuleInfo{ID: next, Name: name, Category: cascades.Required})
-		next++
+	for _, b := range declaredBlocks {
+		next := b.first
+		for _, name := range b.names {
+			extra = append(extra, cascades.RuleInfo{ID: next, Name: name, Category: b.cat})
+			next++
+		}
+		if end := bandEnd(b.cat); next != end {
+			return nil, fmt.Errorf("rules: census mismatch: %v block ends at %d, band ends at %d", b.cat, next, end)
+		}
 	}
-	if next != requiredEnd {
-		panic(fmt.Sprintf("rules: required census mismatch: next=%d want %d", next, requiredEnd))
-	}
-	next = IDSelectSplitDisjunction + 1
-	for _, name := range declaredOffByDefault {
-		extra = append(extra, cascades.RuleInfo{ID: next, Name: name, Category: cascades.OffByDefault})
-		next++
-	}
-	if next != offByDefaultEnd {
-		panic(fmt.Sprintf("rules: off-by-default census mismatch: next=%d want %d", next, offByDefaultEnd))
-	}
-	next = IDUdoPredicateTransfer + 1
-	for _, name := range declaredOnByDefault {
-		extra = append(extra, cascades.RuleInfo{ID: next, Name: name, Category: cascades.OnByDefault})
-		next++
-	}
-	if next != onByDefaultEnd {
-		panic(fmt.Sprintf("rules: on-by-default census mismatch: next=%d want %d", next, onByDefaultEnd))
-	}
-	next = IDTopImplTwoPhase + 1
-	for _, name := range declaredImplementation {
-		extra = append(extra, cascades.RuleInfo{ID: next, Name: name, Category: cascades.Implementation})
-		next++
-	}
-	if next != catalogEnd {
-		panic(fmt.Sprintf("rules: implementation census mismatch: next=%d want %d", next, catalogEnd))
+	if total := len(transforms) + len(implements) + len(extra); total != catalogEnd {
+		return nil, fmt.Errorf("rules: catalog census mismatch: %d registrations, want %d", total, catalogEnd)
 	}
 
 	rs, err := cascades.NewRuleSet(transforms, implements, extra)
 	if err != nil {
-		panic(err) // the catalog is static; an error is a programming bug
+		return nil, fmt.Errorf("rules: %w", err)
 	}
-	return rs
+	return rs, nil
+}
+
+// bandEnd returns the exclusive upper ID bound of a category's band.
+func bandEnd(cat cascades.Category) int {
+	switch cat {
+	case cascades.Required:
+		return requiredEnd
+	case cascades.OffByDefault:
+		return offByDefaultEnd
+	case cascades.OnByDefault:
+		return onByDefaultEnd
+	default:
+		return catalogEnd
+	}
 }

@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"testing"
+
+	"steerq/internal/cascades"
+)
+
+// TestCatalogGolden pins the catalog census to the paper's Table 2: 256
+// rules, every ID in [0, 256) registered exactly once, unique names, and
+// category bands of exactly 37/46/141/32 laid out contiguously. It also
+// cross-references the named ID constants in ids.go against the
+// registration order Catalog() actually produced.
+func TestCatalogGolden(t *testing.T) {
+	rs := Catalog()
+	infos := rs.Infos()
+	if len(infos) != catalogEnd {
+		t.Fatalf("catalog has %d rules, want %d", len(infos), catalogEnd)
+	}
+
+	names := make(map[string]int)
+	counts := make(map[cascades.Category]int)
+	for want, ri := range infos {
+		if ri.ID != want {
+			t.Fatalf("rule IDs not contiguous: position %d holds ID %d", want, ri.ID)
+		}
+		if ri.Name == "" {
+			t.Errorf("rule %d has no name", ri.ID)
+		}
+		if prev, dup := names[ri.Name]; dup {
+			t.Errorf("rule name %q claimed by IDs %d and %d", ri.Name, prev, ri.ID)
+		}
+		names[ri.Name] = ri.ID
+		counts[ri.Category]++
+
+		var band cascades.Category
+		switch {
+		case ri.ID < requiredEnd:
+			band = cascades.Required
+		case ri.ID < offByDefaultEnd:
+			band = cascades.OffByDefault
+		case ri.ID < onByDefaultEnd:
+			band = cascades.OnByDefault
+		default:
+			band = cascades.Implementation
+		}
+		if ri.Category != band {
+			t.Errorf("rule %d (%s) registered as %v but lies in the %v band", ri.ID, ri.Name, ri.Category, band)
+		}
+	}
+
+	want := map[cascades.Category]int{
+		cascades.Required:       37,
+		cascades.OffByDefault:   46,
+		cascades.OnByDefault:    141,
+		cascades.Implementation: 32,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("category %v has %d rules, want %d", cat, counts[cat], n)
+		}
+	}
+
+	// Spot-check named constants against their registrations.
+	for name, id := range map[string]int{
+		"EnforceExchange":           IDEnforceExchange,
+		"BuildOutput":               IDBuildOutput,
+		"CorrelatedJoinOnUnionAll1": IDCorrelatedJoinOnUnionAll1,
+		"GroupbyOnJoin":             IDGroupbyOnJoin,
+		"CollapseSelects":           IDCollapseSelects,
+		"UdoPredicateTransfer":      IDUdoPredicateTransfer,
+		"HashJoinImpl1":             IDHashJoinImpl1,
+		"UnionAllToVirtualDataset":  IDUnionAllToVirtualDS,
+		"TopImplTwoPhase":           IDTopImplTwoPhase,
+	} {
+		ri, ok := rs.Info(id)
+		if !ok {
+			t.Errorf("ID constant %s (=%d) has no registration", name, id)
+			continue
+		}
+		if ri.Name != name {
+			t.Errorf("ID %d registered as %q, ids.go names it %s", id, ri.Name, name)
+		}
+	}
+
+	// The declared-only blocks land where ids.go says they do.
+	for _, b := range declaredBlocks {
+		for i, name := range b.names {
+			ri, ok := rs.Info(b.first + i)
+			if !ok || ri.Name != name || ri.Category != b.cat {
+				t.Errorf("declared rule %q expected at ID %d/%v, found %+v (ok=%t)",
+					name, b.first+i, b.cat, ri, ok)
+			}
+		}
+	}
+}
+
+// TestBuildCatalogReportsCensusDefects verifies buildCatalog returns an
+// error (rather than panicking) when a declared block misaligns.
+func TestBuildCatalogReportsCensusDefects(t *testing.T) {
+	if _, err := buildCatalog(); err != nil {
+		t.Fatalf("pristine catalog failed to build: %v", err)
+	}
+	// Shrink a block and check the census error fires, restoring afterwards.
+	saved := declaredOnByDefault
+	declaredOnByDefault = declaredOnByDefault[:len(declaredOnByDefault)-1]
+	declaredBlocks[2].names = declaredOnByDefault
+	defer func() {
+		declaredOnByDefault = saved
+		declaredBlocks[2].names = saved
+	}()
+	if _, err := buildCatalog(); err == nil {
+		t.Fatal("buildCatalog accepted a truncated on-by-default block")
+	}
+}

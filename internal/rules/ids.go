@@ -13,6 +13,8 @@
 // production (Table 2 reports 86 unused rules on Workload A).
 package rules
 
+import "steerq/internal/cascades"
+
 // Rule IDs. Stable: bit i of a rule configuration or signature refers to the
 // rule with ID i. Layout:
 //
@@ -181,4 +183,24 @@ var declaredImplementation = []string{
 	"SequenceImpl", "StreamSetImpl", "DeltaScanImpl",
 	"BufferedExchangeImpl", "CompressedShuffleImpl", "RowBatchExchangeImpl",
 	"BroadcastTreeImpl",
+}
+
+// declaredBlock assigns a contiguous ID range to declared-only rules:
+// names[i] registers under ID first+i.
+type declaredBlock struct {
+	first int
+	names []string
+	cat   cascades.Category
+}
+
+// declaredBlocks places the declared-only name lists in the catalog. Together
+// with the explicit registrations in catalog.go they must tile [0, catalogEnd)
+// exactly once; buildCatalog verifies the census at runtime and the rulecheck
+// analyzer verifies it statically. Keep the literal shape — constant first,
+// package-level names slice, constant cat — or rulecheck cannot see the range.
+var declaredBlocks = []declaredBlock{
+	{first: IDBuildMulti + 1, names: declaredRequired, cat: cascades.Required},
+	{first: IDSelectSplitDisjunction + 1, names: declaredOffByDefault, cat: cascades.OffByDefault},
+	{first: IDUdoPredicateTransfer + 1, names: declaredOnByDefault, cat: cascades.OnByDefault},
+	{first: IDTopImplTwoPhase + 1, names: declaredImplementation, cat: cascades.Implementation},
 }

@@ -166,8 +166,9 @@ func (r joinImpl) Implement(e *cascades.MExpr, m *cascades.Memo) []*cascades.Phy
 			OutDist:  anyDist(),
 			BuildIdx: 1,
 		}}
+	default:
+		return nil // not a join flavor this rule produces
 	}
-	return nil
 }
 
 // aggImpl produces one physical aggregation flavor: single-phase hash
@@ -216,8 +217,9 @@ func (r aggImpl) Implement(e *cascades.MExpr, m *cascades.Memo) []*cascades.Phys
 			BuildIdx: -1,
 			LocalPre: plan.PhysPartialHashAgg,
 		}}
+	default:
+		return nil // not an aggregation flavor this rule produces
 	}
-	return nil
 }
 
 // unionImpl produces one physical union flavor: the materializing

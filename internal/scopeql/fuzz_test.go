@@ -1,0 +1,69 @@
+package scopeql
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds covers every statement form the grammar accepts plus a few
+// known-bad inputs so the fuzzer starts with interesting coverage.
+var fuzzSeeds = []string{
+	`x = SELECT a, b FROM "lake/t" WHERE a > 5 AND b == 2 OR a < 1; OUTPUT x TO "o";`,
+	`e = EXTRACT a, c FROM "lake/u"; OUTPUT e TO "o";`,
+	`j = SELECT f.a AS a, u.c AS c FROM f INNER JOIN e AS u ON f.a == u.a; OUTPUT j TO "o";`,
+	`g = SELECT a, COUNT(*) AS cnt, SUM(c) AS total FROM j GROUP BY a HAVING cnt > 3; OUTPUT g TO "o";`,
+	`tp = SELECT TOP 10 a, cnt FROM g ORDER BY cnt DESC, a; OUTPUT tp TO "o";`,
+	`x = SELECT a + b * 2 AS v FROM "lake/t"; OUTPUT x TO "o";`,
+	`x = SELECT * FROM "lake/t"; OUTPUT x TO "o";`,
+	`x = SELECT a FROM (SELECT a FROM "lake/t") AS s; OUTPUT x TO "o";`,
+	`u = a UNION ALL b; OUTPUT u TO "o";`,
+	`r = REDUCE y ON k USING Cook; OUTPUT r TO "o";`,
+	`p = PROCESS y USING Cook; OUTPUT p TO "o";`,
+	// Malformed inputs that must produce errors, not panics.
+	`x = SELECT a FROM "t"`,
+	`x = SELECT TOP 0 a FROM "t"; OUTPUT x TO "o";`,
+	`OUTPUT x "o";`,
+	`= ; ;; "`,
+	"x = SELECT \x00 FROM \"t\";",
+}
+
+// FuzzParse asserts the parser never panics: any input either yields a
+// script or an error, and a parsed script is internally non-nil.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse returned both a script and error %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("Parse returned nil script and nil error")
+		}
+		for i, st := range s.Stmts {
+			if st == nil {
+				t.Fatalf("statement %d is nil", i)
+			}
+		}
+	})
+}
+
+// FuzzCompile drives the full parse+bind pipeline against a fixed catalog.
+// Binding is where name resolution and schema bookkeeping live, so this
+// exercises far more invariants than parsing alone.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(strings.ReplaceAll(seed, "lake/t", "lake/orders"))
+	}
+	cat := bindCatalog()
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := Compile(src, cat)
+		if err == nil && root == nil {
+			t.Fatal("Compile returned nil plan and nil error")
+		}
+	})
+}

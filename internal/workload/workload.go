@@ -96,6 +96,7 @@ func (w *Workload) Day(day int) []*Job {
 		if err != nil {
 			// Generator and dialect are co-designed; a bind failure is a
 			// generator bug worth failing loudly on.
+			// steerq:allow-panic — see above; every template binds in tests.
 			panic(fmt.Sprintf("workload %s day %d template %d: %v\nscript:\n%s", w.Name, day, t.ID, err, script))
 		}
 		jobs = append(jobs, &Job{
