@@ -1,7 +1,7 @@
 # steerq development targets. `make ci` is the authoritative gate; the
 # other targets are the individual stages for quick local iteration.
 
-.PHONY: all build test race lint vet fmt fuzz ci
+.PHONY: all build test race lint vet fmt fuzz bench ci
 
 all: build
 
@@ -26,6 +26,13 @@ fmt:
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=15s ./internal/scopeql/
 	go test -fuzz=FuzzCompile -fuzztime=15s ./internal/scopeql/
+
+# bench runs the pipeline benchmarks and regenerates BENCH_pipeline.json
+# (ns/op, allocs/op, cache hit rate, serial-vs-parallel speedup on this
+# machine) so PRs carry a perf trajectory.
+bench:
+	go test -run '^$$' -bench 'BenchmarkPipeline' -benchmem .
+	go run ./cmd/steerq-bench -perf -perf-out BENCH_pipeline.json
 
 ci:
 	./ci.sh

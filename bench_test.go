@@ -258,6 +258,59 @@ func BenchmarkCompileDefault(b *testing.B) {
 	}
 }
 
+// benchPipelineRecompile measures the discovery pipeline's compile-heavy
+// half (span + M candidate recompilations) over a fixed job set at the given
+// worker count. A fresh (or nil) cache per iteration keeps the serial and
+// parallel numbers comparable; BenchmarkPipelineCached shows the warm path.
+func benchPipelineRecompile(b *testing.B, workers int, warmCache bool) {
+	r := experiments.NewRunner(benchConfig())
+	long := r.LongJobs("A", 0)
+	if len(long) > 4 {
+		long = long[:4]
+	}
+	if len(long) == 0 {
+		b.Fatal("no long-running jobs at bench scale")
+	}
+	mk := func(cache *steering.CompileCache) *steering.Pipeline {
+		p := r.Pipeline("A")
+		p.Workers = workers
+		p.Cache = cache
+		return p
+	}
+	var cache *steering.CompileCache
+	if warmCache {
+		cache = steering.NewCompileCache()
+		for _, j := range long {
+			if _, err := mk(cache).Recompile(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mk(cache)
+		for _, j := range long {
+			if _, err := p.Recompile(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if warmCache {
+		st := cache.Stats()
+		b.ReportMetric(100*st.HitRate(), "hit-%")
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+func BenchmarkPipelineWorkers1(b *testing.B) { benchPipelineRecompile(b, 1, false) }
+
+func BenchmarkPipelineWorkers4(b *testing.B) { benchPipelineRecompile(b, 4, false) }
+
+// BenchmarkPipelineCached measures the steady state of recurring-workload
+// experiments: every (job, config) compilation is served from the shared
+// compile cache.
+func BenchmarkPipelineCached(b *testing.B) { benchPipelineRecompile(b, 4, true) }
+
 // BenchmarkJobSpan measures the cost of Algorithm 1 per job.
 func BenchmarkJobSpan(b *testing.B) {
 	r := experiments.NewRunner(benchConfig())

@@ -9,9 +9,12 @@
 #   5. go test -race ./...       unit + property + golden tests under the
 #                                race detector, with plan validation forced
 #                                on via STEERQ_CHECK_PLANS
-#   6. short fuzz pass           30s total over the scopeql parser/binder
+#   6. parallel smoke            the pipeline determinism tests re-run with
+#                                STEERQ_WORKERS=4 so the race detector covers
+#                                the worker pool on every run
+#   7. short fuzz pass           30s total over the scopeql parser/binder
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 6 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 7 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -33,6 +36,9 @@ go run ./cmd/steerq-lint ./...
 
 echo "== test (race) =="
 STEERQ_CHECK_PLANS=1 go test -race ./...
+
+echo "== parallel pipeline smoke (race, 4 workers) =="
+STEERQ_WORKERS=4 STEERQ_CHECK_PLANS=1 go test -race ./internal/steering/ ./internal/experiments/ -run 'Parallel|Determinism'
 
 if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="

@@ -1,10 +1,13 @@
 // Command steerq-bench regenerates every table and figure of the paper on
 // the simulated stack and prints them in order. Use -exp to run a single
-// experiment.
+// experiment, -workers to fan analysis out across goroutines (results are
+// identical at any worker count), and -perf to measure pipeline throughput
+// and write a machine-readable BENCH_pipeline.json.
 //
 // Usage:
 //
-//	steerq-bench [-scale 0.01] [-seed 2021] [-m 300] [-exp all|table1..table5|fig1..fig8|ablations|extensions] [-v]
+//	steerq-bench [-scale 0.01] [-seed 2021] [-m 300] [-workers N] [-exp all|table1..table5|fig1..fig8|ablations|extensions] [-v]
+//	steerq-bench -perf [-perf-out BENCH_pipeline.json] [-workers 4] [-scale 0.01] [-m 300]
 package main
 
 import (
@@ -23,15 +26,27 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "workload scale (1.0 = the paper's 150K daily jobs)")
 		seed    = flag.Uint64("seed", 2021, "experiment seed")
 		m       = flag.Int("m", 300, "candidate configurations per analyzed job (paper: up to 1000)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = $STEERQ_WORKERS or GOMAXPROCS); results are identical at any setting")
 		expName = flag.String("exp", "all", "experiment to run (all, table1..table5, fig1..fig8)")
+		perf    = flag.Bool("perf", false, "measure pipeline throughput instead of running experiments")
+		perfOut = flag.String("perf-out", "BENCH_pipeline.json", "output path for the -perf JSON report")
 		verbose = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*scale, *seed, *m, *workers, *perfOut, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Candidates = *m
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
@@ -97,6 +112,16 @@ func main() {
 		(&experiments.Figure8{Run: learn}).Render(out)
 		return nil
 	})
+
+	// Surface compile-cache effectiveness for whatever ran above.
+	for _, name := range []string{"A", "B", "C"} {
+		st := r.CacheStats(name)
+		if st.Hits+st.Misses == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "[compile cache %s: %d hits / %d misses (%.0f%% hit rate), %d entries]\n",
+			name, st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
+	}
 }
 
 func render1(r *experiments.Runner, w io.Writer) error {

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"steerq/internal/experiments"
+	"steerq/internal/steering"
+	"steerq/internal/xrand"
+)
+
+// perfConfig is one measured pipeline configuration in BENCH_pipeline.json.
+type perfConfig struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	SecPerOp    float64 `json:"sec_per_op"`
+}
+
+// perfCache reports compile-cache effectiveness over two warm passes.
+type perfCache struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// perfReport is the full machine-readable benchmark record. Future PRs diff
+// these files to track the perf trajectory.
+type perfReport struct {
+	GeneratedUnix int64      `json:"generated_unix"`
+	GoMaxProcs    int        `json:"gomaxprocs"`
+	Workload      string     `json:"workload"`
+	Jobs          int        `json:"jobs"`
+	Candidates    int        `json:"candidates"`
+	Serial        perfConfig `json:"serial"`
+	Parallel      perfConfig `json:"parallel"`
+	Speedup       float64    `json:"speedup"`
+	Cache         perfCache  `json:"cache"`
+}
+
+// runPerf measures Pipeline.Recompile wall-clock at Workers=1 vs
+// Workers=workers over a fixed job set (cold cache each iteration, so the
+// comparison is honest), plus compile-cache hit rates over repeated passes,
+// and writes the result as JSON to outPath.
+func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose bool) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.Candidates = m
+	r := experiments.NewRunner(cfg)
+	const wl = "A"
+	long := r.LongJobs(wl, 0)
+	if len(long) == 0 {
+		return fmt.Errorf("perf: workload %s has no long-running jobs at scale %g", wl, scale)
+	}
+	jobs := long
+	if len(jobs) > 6 {
+		jobs = jobs[:6]
+	}
+	h := r.Harness(wl)
+
+	recompileAll := func(w int, cache *steering.CompileCache) error {
+		p := steering.NewPipeline(h, xrand.New(seed).Derive("perf"))
+		p.MaxCandidates = m
+		p.Workers = w
+		p.Cache = cache
+		for _, j := range jobs {
+			if _, err := p.Recompile(j); err != nil {
+				return fmt.Errorf("perf: recompile %s: %w", j.ID, err)
+			}
+		}
+		return nil
+	}
+	// Warm up once so lazily built state (catalog statistics, day inputs)
+	// does not land inside the first measured iteration.
+	if err := recompileAll(1, nil); err != nil {
+		return err
+	}
+
+	measure := func(w int) (perfConfig, error) {
+		var err error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if e := recompileAll(w, nil); e != nil && err == nil {
+					err = e
+				}
+			}
+		})
+		return perfConfig{
+			Workers:     w,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+			SecPerOp:    float64(res.NsPerOp()) / 1e9,
+		}, err
+	}
+
+	serial, err := measure(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := measure(workers)
+	if err != nil {
+		return err
+	}
+
+	// Cache effectiveness: two passes over the same jobs through one cache —
+	// the steady state of recurring-workload experiments.
+	cache := steering.NewCompileCache()
+	for pass := 0; pass < 2; pass++ {
+		if err := recompileAll(workers, cache); err != nil {
+			return err
+		}
+	}
+	st := cache.Stats()
+
+	rep := perfReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Workload:      wl,
+		Jobs:          len(jobs),
+		Candidates:    m,
+		Serial:        serial,
+		Parallel:      parallel,
+		Cache: perfCache{
+			Hits:    st.Hits,
+			Misses:  st.Misses,
+			Entries: st.Entries,
+			HitRate: st.HitRate(),
+		},
+	}
+	if parallel.NsPerOp > 0 {
+		rep.Speedup = float64(serial.NsPerOp) / float64(parallel.NsPerOp)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf: %d jobs x %d candidates on GOMAXPROCS=%d\n", len(jobs), m, rep.GoMaxProcs)
+	fmt.Printf("  workers=1: %s/op  %d allocs/op\n", time.Duration(serial.NsPerOp), serial.AllocsPerOp)
+	fmt.Printf("  workers=%d: %s/op  %d allocs/op  (%.2fx speedup)\n",
+		workers, time.Duration(parallel.NsPerOp), parallel.AllocsPerOp, rep.Speedup)
+	fmt.Printf("  cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
+		st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
+	fmt.Printf("  wrote %s\n", outPath)
+	if verbose {
+		fmt.Fprintf(os.Stderr, "%s", data)
+	}
+	return nil
+}

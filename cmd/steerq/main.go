@@ -7,8 +7,8 @@
 //
 //	steerq compile  [-workload A] [-seed N] [-script file | -job day/idx] [-show-plan]
 //	steerq span     [-workload A] [-job day/idx]
-//	steerq search   [-workload A] [-job day/idx] [-m 200]
-//	steerq pipeline [-workload A] [-job day/idx] [-m 300] [-k 10]
+//	steerq search   [-workload A] [-job day/idx] [-m 200] [-workers N]
+//	steerq pipeline [-workload A] [-job day/idx] [-m 300] [-k 10] [-workers N]
 //	steerq groups   [-workload A] [-day 0] [-top 15]
 //	steerq workload [-workload A] [-day 0]
 //
@@ -25,8 +25,10 @@ import (
 	"strings"
 
 	"steerq/internal/abtest"
+	"steerq/internal/bitvec"
 	"steerq/internal/cascades"
 	"steerq/internal/cost"
+	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/scopeql"
 	"steerq/internal/steering"
@@ -79,6 +81,7 @@ type env struct {
 	scale   *float64
 	jobRef  *string
 	script  *string
+	workers *int
 	wl      *workload.Workload
 	harness *abtest.Harness
 }
@@ -90,6 +93,7 @@ func newEnv(cmd string) *env {
 	e.scale = e.fs.Float64("scale", 0.01, "workload scale (1.0 = paper scale)")
 	e.jobRef = e.fs.String("job", "0/0", "job reference day/index")
 	e.script = e.fs.String("script", "", "path to a SCOPE-like script (overrides -job)")
+	e.workers = e.fs.Int("workers", 0, "worker goroutines (0 = $STEERQ_WORKERS or GOMAXPROCS); results are identical at any setting")
 	return e
 }
 
@@ -108,6 +112,7 @@ func (e *env) build() error {
 	e.wl = workload.Generate(p)
 	opt := rules.NewOptimizer(cost.NewEstimated(e.wl.Cat))
 	e.harness = abtest.New(e.wl.Cat, opt, *e.seed+1)
+	e.harness.Workers = *e.workers
 	return nil
 }
 
@@ -228,16 +233,23 @@ func cmdSearch(args []string) error {
 	type row struct {
 		cost float64
 		diff steering.RuleDiff
+		ok   bool
 	}
-	var rows []row
-	failed := 0
-	for _, cfg := range cfgs {
+	slots, _ := par.Map(*e.workers, cfgs, func(_ int, cfg bitvec.Vector) (row, error) {
 		res, err := e.harness.Opt.Optimize(j.Root, cfg)
 		if err != nil {
+			return row{}, nil
+		}
+		return row{res.Cost, steering.Diff(def.Signature, res.Signature), true}, nil
+	})
+	rows := make([]row, 0, len(slots))
+	failed := 0
+	for _, s := range slots {
+		if !s.ok {
 			failed++
 			continue
 		}
-		rows = append(rows, row{res.Cost, steering.Diff(def.Signature, res.Signature)})
+		rows = append(rows, s)
 	}
 	sort.Slice(rows, func(i, k int) bool { return rows[i].cost < rows[k].cost })
 	fmt.Printf("%d compiled, %d failed; 10 cheapest:\n", len(rows), failed)
@@ -263,6 +275,8 @@ func cmdPipeline(args []string) error {
 	p := steering.NewPipeline(e.harness, xrand.New(*e.seed).Derive("cli-pipeline"))
 	p.MaxCandidates = *m
 	p.ExecutePerJob = *k
+	p.Workers = *e.workers
+	p.Cache = steering.NewCompileCache()
 	a, err := p.Analyze(j)
 	if err != nil {
 		return err

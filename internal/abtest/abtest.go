@@ -12,6 +12,7 @@ import (
 	"steerq/internal/cascades"
 	"steerq/internal/catalog"
 	"steerq/internal/exec"
+	"steerq/internal/par"
 	"steerq/internal/plan"
 )
 
@@ -25,11 +26,18 @@ type Trial struct {
 	Err error
 }
 
-// Harness re-executes plans with pinned resources.
+// Harness re-executes plans with pinned resources. Its methods are safe for
+// concurrent use: the optimizer and executor keep no cross-call state, and
+// execution noise is derived from (seed, jobTag, day), not shared RNG state.
 type Harness struct {
 	Cat      *catalog.Catalog
 	Opt      *cascades.Optimizer
 	Executor *exec.Executor
+
+	// Workers bounds the goroutines RunConfigs uses; zero resolves through
+	// STEERQ_WORKERS and then GOMAXPROCS. Trials come back in input order
+	// regardless.
+	Workers int
 }
 
 // New builds a harness; the executor is configured with the standard
@@ -62,10 +70,8 @@ func (h *Harness) RunConfig(root *plan.Node, cfg bitvec.Vector, day int, jobTag 
 // input order. Compile failures are recorded, not fatal: many candidate
 // configurations legitimately do not compile (§4).
 func (h *Harness) RunConfigs(root *plan.Node, cfgs []bitvec.Vector, day int, jobTag string) []Trial {
-	out := make([]Trial, 0, len(cfgs))
-	for i, cfg := range cfgs {
-		t := h.RunConfig(root, cfg, day, fmt.Sprintf("%s/cfg%d", jobTag, i))
-		out = append(out, t)
-	}
+	out, _ := par.Map(h.Workers, cfgs, func(i int, cfg bitvec.Vector) (Trial, error) {
+		return h.RunConfig(root, cfg, day, fmt.Sprintf("%s/cfg%d", jobTag, i)), nil
+	})
 	return out
 }

@@ -83,7 +83,9 @@ func (s *search) groupCandidates(g *Group) []*pexpr {
 		return c
 	}
 	s.candidates[g] = nil // cycle guard
-	var out []*pexpr
+	// Most expressions yield one or two implementations; sizing for the
+	// expression count keeps the common case to a single allocation.
+	out := make([]*pexpr, 0, len(g.Exprs)*2)
 	for _, e := range g.Exprs {
 		for _, r := range s.o.Rules.Implements {
 			ri := r.Info()

@@ -137,7 +137,10 @@ func (m *Memo) groupForNode(n *plan.Node) *Group {
 	}
 	g := &Group{ID: GroupID(len(m.Groups)), Schema: n.Schema, winners: make(map[string]*winner)}
 	e := &MExpr{Node: payload, Children: children, Group: g, RuleID: -1}
-	g.Exprs = []*MExpr{e}
+	// Groups usually grow past one expression during exploration; a little
+	// up-front capacity avoids the append regrowth on the optimizer's
+	// hottest allocation site without over-reserving for leaf groups.
+	g.Exprs = append(make([]*MExpr, 0, 4), e)
 	g.Props = m.deriveProps(e)
 	m.Groups = append(m.Groups, g)
 	m.index[key] = g
@@ -155,6 +158,11 @@ func shallow(n *plan.Node) *plan.Node {
 
 // Full reports whether the memo's exploration budget is exhausted.
 func (m *Memo) Full() bool { return m.totalExprs >= m.TotalLimit }
+
+// TotalExprs returns the number of expressions interned so far. It is
+// maintained incrementally by groupForNode and intern, so reading it never
+// walks the groups.
+func (m *Memo) TotalExprs() int { return m.totalExprs }
 
 // RNode describes a rule's output: a new operator payload over children that
 // are either existing groups or further new sub-expressions.
@@ -223,6 +231,7 @@ func (m *Memo) intern(rn *RNode, target *Group, prov []int, ruleID int) (*Group,
 	g := target
 	if g == nil {
 		g = &Group{ID: GroupID(len(m.Groups)), Schema: rn.Node.Schema, winners: make(map[string]*winner)}
+		g.Exprs = make([]*MExpr, 0, 4)
 		m.Groups = append(m.Groups, g)
 	}
 	if len(g.Exprs) >= m.ExprLimit && target != nil {

@@ -55,6 +55,11 @@ var ErrNoPlan = errors.New("cascades: no physical plan under this rule configura
 
 // Optimize compiles the logical plan under cfg and returns the cheapest
 // physical plan found, its estimated cost, and its rule signature.
+//
+// Optimize is safe for concurrent use: every call builds a fresh Memo and
+// search, and the Optimizer's own fields (Rules, Est, Coster, limits) are
+// read-only after construction. The discovery pipeline relies on this to fan
+// candidate recompilations out across workers.
 func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error) {
 	if root == nil {
 		return nil, errors.New("cascades: nil plan")
@@ -78,17 +83,13 @@ func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error
 		return nil, fmt.Errorf("%w (root group %d)", ErrNoPlan, m.Root.ID)
 	}
 	p, sig := s.extract(w)
-	exprs := 0
-	for _, g := range m.Groups {
-		exprs += len(g.Exprs)
-	}
 	return &Result{
 		Plan:      p,
 		Cost:      w.total,
 		Signature: sig,
 		Config:    cfg,
 		Groups:    len(m.Groups),
-		Exprs:     exprs,
+		Exprs:     m.TotalExprs(),
 	}, nil
 }
 

@@ -5,8 +5,10 @@ import (
 	"io"
 
 	"steerq/internal/bitvec"
+	"steerq/internal/par"
 	"steerq/internal/steering"
 	"steerq/internal/workload"
+	"steerq/internal/xrand"
 )
 
 // AblationRandomVsGuided reproduces the "when the cost model is completely
@@ -38,14 +40,22 @@ func (r *Runner) RandomVsGuided(name string, day, jobs, k int) (*AblationRandomV
 	long := r.LongJobs(name, day)
 	idx := rnd.Sample(len(long), jobs)
 	out := &AblationRandomVsGuided{Workload: name}
-	for _, i := range idx {
+	// The pipeline is shared across workers below, so its selection width is
+	// set once up front rather than mutated per job.
+	p.ExecutePerJob = k
+	type slot struct {
+		row RandomVsGuidedRow
+		ok  bool
+	}
+	// Per-job randomness comes from streams derived by job ID, not from rnd's
+	// own sequence, so the fan-out order cannot change any draw.
+	slots, _ := par.Map(r.Cfg.Workers, idx, func(_, i int) (slot, error) {
 		job := long[i]
 		a, err := p.Recompile(job)
 		if err != nil || len(a.Candidates) == 0 {
-			continue
+			return slot{}, nil
 		}
 		// Guided: the pipeline's standard selection.
-		p.ExecutePerJob = k
 		p.Execute(a)
 		guided := bestRuntime(a)
 
@@ -68,12 +78,17 @@ func (r *Runner) RandomVsGuided(name string, day, jobs, k int) (*AblationRandomV
 				randomBest = t.Metrics.RuntimeSec
 			}
 		}
-		out.Rows = append(out.Rows, RandomVsGuidedRow{
+		return slot{row: RandomVsGuidedRow{
 			Job:        job.ID,
 			DefaultRT:  a.Default.Metrics.RuntimeSec,
 			GuidedBest: guided,
 			RandomBest: randomBest,
-		})
+		}, ok: true}, nil
+	})
+	for _, s := range slots {
+		if s.ok {
+			out.Rows = append(out.Rows, s.row)
+		}
 	}
 	return out, nil
 }
@@ -128,52 +143,64 @@ func (r *Runner) SpanSearch(name string, day, jobs, m int) (*AblationSpanSearch,
 	out := &AblationSpanSearch{Workload: name}
 
 	nonRequired := bitvec.New(h.Opt.Rules.NonRequiredIDs()...)
-	var spanTried, spanOK, spanChanged, spanDistinct int
-	var naiveTried, naiveOK, naiveChanged, naiveDistinct int
-	for _, i := range idx {
+	// Each job tallies into its own slot; the serial reduce below sums them
+	// in input order, so the totals match a Workers=1 run exactly.
+	type tally struct {
+		counted                                          bool
+		spanTried, spanOK, spanChanged, spanDistinct     int
+		naiveTried, naiveOK, naiveChanged, naiveDistinct int
+	}
+	policy := func(job *workload.Job, def bitvec.Vector, span bitvec.Vector, r *xrand.Source) (tried, ok, changed, distinct int) {
+		sigs := map[bitvec.Key]bool{def.Key(): true}
+		for _, cfg := range steering.CandidateConfigs(span, h.Opt.Rules, m, r) {
+			tried++
+			res, err := h.Opt.Optimize(job.Root, cfg)
+			if err != nil {
+				continue
+			}
+			ok++
+			if !res.Signature.Equal(def) {
+				changed++
+			}
+			if !sigs[res.Signature.Key()] {
+				sigs[res.Signature.Key()] = true
+				distinct++
+			}
+		}
+		return tried, ok, changed, distinct
+	}
+	slots, _ := par.Map(r.Cfg.Workers, idx, func(_, i int) (tally, error) {
 		job := all[i]
 		def, err := h.Opt.Optimize(job.Root, h.Opt.Rules.DefaultConfig())
 		if err != nil {
-			continue
+			return tally{}, nil
 		}
-		out.Jobs++
+		t := tally{counted: true}
 		span, err := steering.JobSpan(h.Opt, job.Root)
 		if err != nil {
-			continue
+			return t, nil
 		}
-		spanSigs := map[bitvec.Key]bool{def.Signature.Key(): true}
-		for _, cfg := range steering.CandidateConfigs(span, h.Opt.Rules, m, rnd.Derive("span", job.ID)) {
-			spanTried++
-			res, err := h.Opt.Optimize(job.Root, cfg)
-			if err != nil {
-				continue
-			}
-			spanOK++
-			if !res.Signature.Equal(def.Signature) {
-				spanChanged++
-			}
-			if !spanSigs[res.Signature.Key()] {
-				spanSigs[res.Signature.Key()] = true
-				spanDistinct++
-			}
-		}
+		t.spanTried, t.spanOK, t.spanChanged, t.spanDistinct =
+			policy(job, def.Signature, span, rnd.Derive("span", job.ID))
 		// Naive policy: the "span" is every non-required rule.
-		naiveSigs := map[bitvec.Key]bool{def.Signature.Key(): true}
-		for _, cfg := range steering.CandidateConfigs(nonRequired, h.Opt.Rules, m, rnd.Derive("naive", job.ID)) {
-			naiveTried++
-			res, err := h.Opt.Optimize(job.Root, cfg)
-			if err != nil {
-				continue
-			}
-			naiveOK++
-			if !res.Signature.Equal(def.Signature) {
-				naiveChanged++
-			}
-			if !naiveSigs[res.Signature.Key()] {
-				naiveSigs[res.Signature.Key()] = true
-				naiveDistinct++
-			}
+		t.naiveTried, t.naiveOK, t.naiveChanged, t.naiveDistinct =
+			policy(job, def.Signature, nonRequired, rnd.Derive("naive", job.ID))
+		return t, nil
+	})
+	var spanTried, spanOK, spanChanged, spanDistinct int
+	var naiveTried, naiveOK, naiveChanged, naiveDistinct int
+	for _, t := range slots {
+		if t.counted {
+			out.Jobs++
 		}
+		spanTried += t.spanTried
+		spanOK += t.spanOK
+		spanChanged += t.spanChanged
+		spanDistinct += t.spanDistinct
+		naiveTried += t.naiveTried
+		naiveOK += t.naiveOK
+		naiveChanged += t.naiveChanged
+		naiveDistinct += t.naiveDistinct
 	}
 	if spanTried > 0 {
 		out.SpanCompiled = float64(spanOK) / float64(spanTried)

@@ -17,6 +17,7 @@ import (
 	"steerq/internal/bitvec"
 	"steerq/internal/cost"
 	"steerq/internal/exec"
+	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/steering"
 	"steerq/internal/workload"
@@ -47,6 +48,10 @@ type Config struct {
 	// optimizing.
 	LearnMinGroup     int
 	LearnMinMedianSec float64
+	// Workers bounds the goroutines used for job analysis and candidate
+	// recompilation. Zero resolves through STEERQ_WORKERS and then
+	// GOMAXPROCS; every value produces bit-for-bit identical results.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 	// CheckPlans validates every executed plan (cascades.Validate) before
@@ -80,6 +85,7 @@ type Runner struct {
 	days      map[string]map[int][]*workload.Job
 	defaults  map[string]map[string]abtest.Trial // per workload: jobID -> default trial
 	analyses  map[string]map[string]*steering.Analysis
+	caches    map[string]*steering.CompileCache // per workload, shared by all its pipelines
 }
 
 // NewRunner builds a Runner for the configuration.
@@ -94,6 +100,7 @@ func NewRunner(cfg Config) *Runner {
 		days:      make(map[string]map[int][]*workload.Job),
 		defaults:  make(map[string]map[string]abtest.Trial),
 		analyses:  make(map[string]map[string]*steering.Analysis),
+		caches:    make(map[string]*steering.CompileCache),
 	}
 }
 
@@ -173,12 +180,31 @@ func (r *Runner) DefaultTrial(name string, j *workload.Job) abtest.Trial {
 	return t
 }
 
-// Pipeline returns a configured discovery pipeline for a workload.
+// Pipeline returns a configured discovery pipeline for a workload. All
+// pipelines of one workload share a compile cache, so recurring jobs and
+// repeated experiments (Figure 1, extensions) skip identical recompilations.
 func (r *Runner) Pipeline(name string) *steering.Pipeline {
 	p := steering.NewPipeline(r.Harness(name), xrand.New(r.Cfg.Seed).Derive("pipeline", name))
 	p.MaxCandidates = r.Cfg.Candidates
 	p.ExecutePerJob = r.Cfg.ExecutePerJob
+	p.Workers = r.Cfg.Workers
+	p.Cache = r.Cache(name)
 	return p
+}
+
+// Cache returns (building once) the workload's shared compile cache.
+func (r *Runner) Cache(name string) *steering.CompileCache {
+	if c, ok := r.caches[name]; ok {
+		return c
+	}
+	c := steering.NewCompileCache()
+	r.caches[name] = c
+	return c
+}
+
+// CacheStats snapshots the workload's compile-cache counters.
+func (r *Runner) CacheStats(name string) steering.CacheStats {
+	return r.caches[name].Stats()
 }
 
 // LongJobs returns day-0 jobs whose default runtime falls inside the
@@ -214,21 +240,39 @@ func (r *Runner) AnalyzedJobs(name string, day int) []*steering.Analysis {
 	idx := rnd.Sample(len(long), n)
 	sort.Ints(idx)
 	p := r.Pipeline(name)
-	var out []*steering.Analysis
-	for _, i := range idx {
-		j := long[i]
+	jobs := make([]*workload.Job, len(idx))
+	for k, i := range idx {
+		jobs[k] = long[i]
+	}
+	// Fan the uncached jobs out across workers; the analysis cache is only
+	// read during the fan-out and only written in the serial merge below, so
+	// results, cache contents and log order all match a Workers=1 run.
+	type slot struct {
+		a      *steering.Analysis
+		err    error
+		cached bool
+	}
+	slots, _ := par.Map(r.Cfg.Workers, jobs, func(k int, j *workload.Job) (slot, error) {
 		if a, ok := r.analyses[name][j.ID]; ok {
-			out = append(out, a)
-			continue
+			return slot{a: a, cached: true}, nil
 		}
 		a, err := p.Analyze(j)
-		if err != nil {
-			r.logf("analyze %s: %v", j.ID, err)
+		return slot{a: a, err: err}, nil
+	})
+	out := make([]*steering.Analysis, 0, len(jobs))
+	for k, j := range jobs {
+		s := slots[k]
+		if s.err != nil {
+			r.logf("analyze %s: %v", j.ID, s.err)
 			continue
 		}
-		r.analyses[name][j.ID] = a
-		out = append(out, a)
-		r.logf("analyzed %s: span=%d candidates=%d", j.ID, a.Span.Count(), len(a.Candidates))
+		if s.cached {
+			out = append(out, s.a)
+			continue
+		}
+		r.analyses[name][j.ID] = s.a
+		out = append(out, s.a)
+		r.logf("analyzed %s: span=%d candidates=%d", j.ID, s.a.Span.Count(), len(s.a.Candidates))
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"steerq/internal/par"
 	"steerq/internal/steering"
 )
 
@@ -47,16 +48,24 @@ func (r *Runner) Extensions(name string, day, jobs int) (*ExtensionResults, erro
 	long := r.LongJobs(name, day)
 	idx := rnd.Sample(len(long), jobs)
 	out := &ExtensionResults{Workload: name}
-	for _, i := range idx {
+	// One-shot baseline budget: 12 executions. Set once — the pipeline is
+	// shared by the workers below.
+	p.ExecutePerJob = 12
+	type slot struct {
+		it    IterativeRow
+		ind   IndependenceRow
+		hasIt bool
+		// hasInd implies hasIt: independence probing runs only after the
+		// iterative comparison succeeds, as in the serial loop.
+		hasInd bool
+	}
+	slots, _ := par.Map(r.Cfg.Workers, idx, func(_, i int) (slot, error) {
 		job := long[i]
 		a, err := p.Recompile(job)
 		if err != nil {
-			continue
+			return slot{}, nil
 		}
 
-		// One-shot baseline: the standard pipeline with a 12-execution
-		// budget.
-		p.ExecutePerJob = 12
 		p.Execute(a)
 		oneShot := a.Default.Metrics.RuntimeSec
 		if alt := a.BestAlternative(steering.MetricRuntime); alt != nil && alt.Metrics.RuntimeSec < oneShot {
@@ -66,7 +75,7 @@ func (r *Runner) Extensions(name string, day, jobs int) (*ExtensionResults, erro
 		// Iterative: the same 12 executions split into 3 feedback rounds.
 		fresh, err := p.Recompile(job)
 		if err != nil {
-			continue
+			return slot{}, nil
 		}
 		it := steering.NewIterativeSearch(p)
 		it.Rounds = 3
@@ -74,32 +83,42 @@ func (r *Runner) Extensions(name string, day, jobs int) (*ExtensionResults, erro
 		it.ExecutePerRound = 4
 		res, err := it.Run(fresh)
 		if err != nil {
-			continue
+			return slot{}, nil
 		}
 		iterative := a.Default.Metrics.RuntimeSec
 		if res.Best != nil {
 			iterative = res.Best.Runtime
 		}
-		out.Iterative = append(out.Iterative, IterativeRow{
+		s := slot{hasIt: true, it: IterativeRow{
 			Job:           job.ID,
 			DefaultRT:     a.Default.Metrics.RuntimeSec,
 			OneShotBest:   oneShot,
 			IterativeBest: iterative,
-		})
+		}}
 
 		ind, err := steering.ProbeIndependence(p, a, rnd.Derive("ind", job.ID))
 		if err != nil {
-			continue
+			return s, nil
 		}
 		naive, part := ind.SearchSpace(a.Span.Count())
-		out.Independence = append(out.Independence, IndependenceRow{
+		s.hasInd = true
+		s.ind = IndependenceRow{
 			Job:          job.ID,
 			SpanSize:     a.Span.Count(),
 			Groups:       len(ind.Groups),
 			NaiveSpace:   naive,
 			PartSpace:    part,
 			Compilations: ind.Compilations,
-		})
+		}
+		return s, nil
+	})
+	for _, s := range slots {
+		if s.hasIt {
+			out.Iterative = append(out.Iterative, s.it)
+		}
+		if s.hasInd {
+			out.Independence = append(out.Independence, s.ind)
+		}
 	}
 	return out, nil
 }

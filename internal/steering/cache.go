@@ -1,0 +1,152 @@
+package steering
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/workload"
+)
+
+// CompileKey identifies one (job instance, rule configuration) compilation.
+//
+// The production follow-up to the paper (QO-Advisor) keeps the recompilation
+// fan-out affordable by never compiling the same recurring input twice; this
+// key is how the reproduction gets the same effect. Template identifies the
+// recurring job structure, Instance fingerprints the day's bound constants
+// (recurring arrivals vary predicate literals, §3.1.1), and Inputs
+// fingerprints the set of streams read that day — together they pin exactly
+// the facts the estimated-statistics optimizer consumes, so a cached
+// {cost, signature} is bit-identical to recompiling.
+type CompileKey struct {
+	Template uint64
+	Instance uint64
+	Inputs   uint64
+	Config   bitvec.Key
+}
+
+// CompileValue is the cached outcome of one compilation. Plans themselves are
+// not retained — the pipeline's candidate stage only consumes the estimated
+// cost and the rule signature, and dropping the plan keeps a multi-day cache
+// small.
+type CompileValue struct {
+	Cost      float64
+	Signature bitvec.Vector
+	// OK is false when the configuration did not compile (cascades.ErrNoPlan
+	// — the only per-configuration failure the optimizer produces). Failures
+	// are cached too: recurring jobs re-probe the same dead configurations.
+	OK bool
+}
+
+// cacheShards is the fixed shard count. Power of two so the shard pick is a
+// mask; 64 shards keep lock contention negligible at any plausible worker
+// count.
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[CompileKey]CompileValue
+}
+
+// CompileCache is a sharded, concurrency-safe memo of compilation outcomes
+// keyed by CompileKey. A single cache is shared across days and experiments
+// of one workload; hit/miss counters feed the steerq-bench perf report.
+type CompileCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	c := &CompileCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[CompileKey]CompileValue)
+	}
+	return c
+}
+
+// shard maps a key to its shard by mixing the fingerprint words; the config
+// key's first word distinguishes the M candidate configurations of one job,
+// which would otherwise all land in one shard.
+func (c *CompileCache) shard(k CompileKey) *cacheShard {
+	h := k.Template ^ k.Instance*0x9e3779b97f4a7c15 ^ k.Inputs ^ k.Config[0]*0x85ebca6b ^ k.Config[1]
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached value for k. The hit/miss counters are updated; a
+// nil receiver reports a miss, so call sites need no nil guards.
+func (c *CompileCache) Get(k CompileKey) (CompileValue, bool) {
+	if c == nil {
+		return CompileValue{}, false
+	}
+	s := c.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores the value for k. Concurrent Puts of the same key are benign:
+// compilation is deterministic, so both writers carry identical values.
+func (c *CompileCache) Put(k CompileKey, v CompileValue) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters and entry count. Safe on a nil cache.
+func (c *CompileCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return st
+}
+
+// jobKey builds the cache key for compiling job under cfg, and reports
+// whether the job is cacheable at all. Ad-hoc jobs (e.g. scripts compiled by
+// the CLI) carry no fingerprints; caching them under an all-zero key would
+// alias every script onto one entry, so they bypass the cache.
+func jobKey(job *workload.Job, cfg bitvec.Vector) (CompileKey, bool) {
+	if job.TemplateHash == 0 && job.InstanceHash == 0 && job.InputsHash == 0 {
+		return CompileKey{}, false
+	}
+	return CompileKey{
+		Template: job.TemplateHash,
+		Instance: job.InstanceHash,
+		Inputs:   job.InputsHash,
+		Config:   cfg.Key(),
+	}, true
+}

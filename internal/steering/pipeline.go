@@ -1,11 +1,14 @@
 package steering
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"steerq/internal/abtest"
 	"steerq/internal/bitvec"
+	"steerq/internal/cascades"
+	"steerq/internal/par"
 	"steerq/internal/workload"
 	"steerq/internal/xrand"
 )
@@ -53,6 +56,17 @@ type Pipeline struct {
 	// ExecutePerJob is how many recompiled candidates are executed (the
 	// paper executes the 10 cheapest).
 	ExecutePerJob int
+
+	// Workers bounds the goroutines recompiling candidates. Zero resolves
+	// through STEERQ_WORKERS and then GOMAXPROCS (see internal/par); any
+	// value yields bit-for-bit identical analyses — results are slotted by
+	// candidate index and each job draws from its own derived RNG stream.
+	Workers int
+
+	// Cache, when non-nil, memoizes {cost, signature} per (job fingerprint,
+	// config) so recurring jobs skip identical recompilations. Safe to share
+	// across goroutines and across pipelines of one workload.
+	Cache *CompileCache
 }
 
 // NewPipeline returns a pipeline with the paper's parameters (M=1000, 10
@@ -82,25 +96,67 @@ func (p *Pipeline) Recompile(job *workload.Job) (*Analysis, error) {
 	if def.Err != nil {
 		return nil, fmt.Errorf("steering: default compile of %s: %w", job.ID, def.Err)
 	}
-	span, err := JobSpan(h.Opt, job.Root)
+	span, err := JobSpanFunc(h.Opt.Rules, func(cfg bitvec.Vector) (bitvec.Vector, error) {
+		v, cerr := p.compile(job, cfg)
+		if cerr != nil {
+			return bitvec.Vector{}, cerr
+		}
+		return v.Signature, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("steering: span of %s: %w", job.ID, err)
 	}
+	// Config generation stays serial on the job's derived stream; only the
+	// pure Optimize calls fan out below.
 	r := p.Rand.Derive("job", job.ID)
 	cfgs := CandidateConfigs(span, h.Opt.Rules, p.MaxCandidates, r)
 	a := &Analysis{Job: job, Default: def, Span: span}
-	for _, cfg := range cfgs {
-		res, err := h.Opt.Optimize(job.Root, cfg)
-		if err != nil {
-			continue // configurations that do not compile are expected
+	type slot struct {
+		c  Candidate
+		ok bool
+	}
+	slots, _ := par.Map(p.Workers, cfgs, func(i int, cfg bitvec.Vector) (slot, error) {
+		v, cerr := p.compile(job, cfg)
+		if cerr != nil {
+			return slot{}, nil // configurations that do not compile are expected
 		}
-		a.Candidates = append(a.Candidates, Candidate{
-			Config:    cfg,
-			EstCost:   res.Cost,
-			Signature: res.Signature,
-		})
+		return slot{c: Candidate{Config: cfg, EstCost: v.Cost, Signature: v.Signature}, ok: true}, nil
+	})
+	a.Candidates = make([]Candidate, 0, len(slots))
+	for _, s := range slots {
+		if s.ok {
+			a.Candidates = append(a.Candidates, s.c)
+		}
 	}
 	return a, nil
+}
+
+// compile optimizes job under cfg through the cache. Failed compilations
+// surface as cascades.ErrNoPlan exactly as from Optimize, whether fresh or
+// cached.
+func (p *Pipeline) compile(job *workload.Job, cfg bitvec.Vector) (CompileValue, error) {
+	key, cacheable := jobKey(job, cfg)
+	cacheable = cacheable && p.Cache != nil
+	if cacheable {
+		if v, ok := p.Cache.Get(key); ok {
+			if !v.OK {
+				return CompileValue{}, cascades.ErrNoPlan
+			}
+			return v, nil
+		}
+	}
+	res, err := p.Harness.Opt.Optimize(job.Root, cfg)
+	if err != nil {
+		if cacheable && errors.Is(err, cascades.ErrNoPlan) {
+			p.Cache.Put(key, CompileValue{OK: false})
+		}
+		return CompileValue{}, err
+	}
+	v := CompileValue{Cost: res.Cost, Signature: res.Signature, OK: true}
+	if cacheable {
+		p.Cache.Put(key, v)
+	}
+	return v, nil
 }
 
 // Execute selects the cheapest recompiled candidates (deduplicated by rule

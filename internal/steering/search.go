@@ -28,8 +28,16 @@ func CandidateConfigs(span bitvec.Vector, rs *cascades.RuleSet, m int, r *xrand.
 	}
 
 	all := bitvec.AllSet(bitvec.Width)
-	seen := make(map[bitvec.Key]bool)
-	var out []bitvec.Vector
+	if m <= 0 {
+		return nil
+	}
+	if len(catBits) == 0 {
+		// An empty span admits exactly one configuration; sampling would
+		// burn the whole attempt budget rediscovering it.
+		return []bitvec.Vector{all}
+	}
+	seen := make(map[bitvec.Key]bool, m)
+	out := make([]bitvec.Vector, 0, m)
 	attempts := 0
 	for len(out) < m && attempts < 20*m+100 {
 		attempts++

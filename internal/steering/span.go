@@ -21,13 +21,25 @@ import (
 // paper notes (§5.1), this misses rules hidden behind complex dependency
 // chains, but finds enough of the span for the configuration search to work.
 func JobSpan(opt *cascades.Optimizer, root *plan.Node) (bitvec.Vector, error) {
-	rs := opt.Rules
+	return JobSpanFunc(opt.Rules, func(cfg bitvec.Vector) (bitvec.Vector, error) {
+		res, err := opt.Optimize(root, cfg)
+		if err != nil {
+			return bitvec.Vector{}, err
+		}
+		return res.Signature, nil
+	})
+}
+
+// JobSpanFunc is JobSpan over an abstract compile step returning the rule
+// signature for a configuration. The pipeline passes its cached compile so
+// recurring jobs pay for each span iteration at most once.
+func JobSpanFunc(rs *cascades.RuleSet, compile func(cfg bitvec.Vector) (bitvec.Vector, error)) (bitvec.Vector, error) {
 	nonRequired := bitvec.New(rs.NonRequiredIDs()...)
 
 	var span bitvec.Vector
 	config := nonRequired
 	for {
-		res, err := opt.Optimize(root, config)
+		sig, err := compile(config)
 		if err != nil {
 			if errors.Is(err, cascades.ErrNoPlan) {
 				// All implementations of some operator are disabled:
@@ -36,7 +48,7 @@ func JobSpan(opt *cascades.Optimizer, root *plan.Node) (bitvec.Vector, error) {
 			}
 			return bitvec.Vector{}, err
 		}
-		onRules := res.Signature.And(nonRequired)
+		onRules := sig.And(nonRequired)
 		fresh := onRules.AndNot(span)
 		if fresh.IsEmpty() {
 			return span, nil
