@@ -12,9 +12,14 @@
 #   6. parallel smoke            the pipeline determinism tests re-run with
 #                                STEERQ_WORKERS=4 so the race detector covers
 #                                the worker pool on every run
-#   7. short fuzz pass           30s total over the scopeql parser/binder
+#   7. alloc regression          the compile allocation budget re-checked
+#                                under -race (testing.AllocsPerRun)
+#   8. bench smoke               the pipeline benchmark executed once
+#                                (-benchtime=1x) so a broken or pathologically
+#                                slow hot path fails CI, not the next perf run
+#   9. short fuzz pass           30s total over the scopeql parser/binder
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 7 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 9 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -39,6 +44,12 @@ STEERQ_CHECK_PLANS=1 go test -race ./...
 
 echo "== parallel pipeline smoke (race, 4 workers) =="
 STEERQ_WORKERS=4 STEERQ_CHECK_PLANS=1 go test -race ./internal/steering/ ./internal/experiments/ -run 'Parallel|Determinism'
+
+echo "== alloc regression (race) =="
+go test -race ./internal/rules/ -run TestCompileAllocationBudget -count=1
+
+echo "== bench smoke (1x) =="
+go test -run '^$' -bench BenchmarkPipelineWorkers1 -benchtime=1x -benchmem .
 
 if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="

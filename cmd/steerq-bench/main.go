@@ -15,31 +15,73 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"steerq/internal/experiments"
 )
 
+// main delegates to realMain so deferred profile flushes run before exit
+// (os.Exit skips defers).
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		scale   = flag.Float64("scale", 0.01, "workload scale (1.0 = the paper's 150K daily jobs)")
-		seed    = flag.Uint64("seed", 2021, "experiment seed")
-		m       = flag.Int("m", 300, "candidate configurations per analyzed job (paper: up to 1000)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = $STEERQ_WORKERS or GOMAXPROCS); results are identical at any setting")
-		expName = flag.String("exp", "all", "experiment to run (all, table1..table5, fig1..fig8)")
-		perf    = flag.Bool("perf", false, "measure pipeline throughput instead of running experiments")
-		perfOut = flag.String("perf-out", "BENCH_pipeline.json", "output path for the -perf JSON report")
-		verbose = flag.Bool("v", false, "log progress")
+		scale      = flag.Float64("scale", 0.01, "workload scale (1.0 = the paper's 150K daily jobs)")
+		seed       = flag.Uint64("seed", 2021, "experiment seed")
+		m          = flag.Int("m", 300, "candidate configurations per analyzed job (paper: up to 1000)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = $STEERQ_WORKERS or GOMAXPROCS); results are identical at any setting")
+		expName    = flag.String("exp", "all", "experiment to run (all, table1..table5, fig1..fig8)")
+		perf       = flag.Bool("perf", false, "measure pipeline throughput instead of running experiments")
+		perfOut    = flag.String("perf-out", "BENCH_pipeline.json", "output path for the -perf JSON report")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
+		verbose    = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench: -cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "steerq-bench: -cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "steerq-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so alloc_space is complete
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "steerq-bench: -memprofile:", err)
+			}
+		}()
+	}
 
 	if *perf {
 		if err := runPerf(*scale, *seed, *m, *workers, *perfOut, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -122,6 +164,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[compile cache %s: %d hits / %d misses (%.0f%% hit rate), %d entries]\n",
 			name, st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
 	}
+	return 0
 }
 
 func render1(r *experiments.Runner, w io.Writer) error {

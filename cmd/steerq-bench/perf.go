@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"steerq/internal/bitvec"
 	"steerq/internal/experiments"
 	"steerq/internal/steering"
 	"steerq/internal/xrand"
@@ -16,11 +17,46 @@ import (
 // perfConfig is one measured pipeline configuration in BENCH_pipeline.json.
 type perfConfig struct {
 	Workers     int     `json:"workers"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
 	SecPerOp    float64 `json:"sec_per_op"`
+	Skipped     bool    `json:"skipped,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// perfCompile measures one default-configuration Cascades compile of a single
+// job — the unit the tentpole optimizes. The pipeline numbers above multiply
+// this by jobs x candidates.
+type perfCompile struct {
+	Job              string `json:"job"`
+	NsPerCompile     int64  `json:"ns_per_compile"`
+	AllocsPerCompile int64  `json:"allocs_per_compile"`
+	BytesPerCompile  int64  `json:"bytes_per_compile"`
+	Iterations       int    `json:"iterations"`
+}
+
+// perfBaseline pins the serial-leg numbers this PR was measured against and
+// the reductions achieved, so the report is self-describing.
+type perfBaseline struct {
+	Source            string  `json:"source"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	NsReductionPct    float64 `json:"ns_reduction_pct"`
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+	BytesReductionPct float64 `json:"bytes_reduction_pct"`
+}
+
+// prBaseline is the serial pipeline leg recorded by PR 2's
+// BENCH_pipeline.json on this same machine, before the allocation work.
+var prBaseline = perfBaseline{
+	Source:      "PR 2 BENCH_pipeline.json (pre-interning-rework serial leg)",
+	NsPerOp:     253803482,
+	AllocsPerOp: 1475710,
+	BytesPerOp:  100479020,
 }
 
 // perfCache reports compile-cache effectiveness over two warm passes.
@@ -34,21 +70,29 @@ type perfCache struct {
 // perfReport is the full machine-readable benchmark record. Future PRs diff
 // these files to track the perf trajectory.
 type perfReport struct {
-	GeneratedUnix int64      `json:"generated_unix"`
-	GoMaxProcs    int        `json:"gomaxprocs"`
-	Workload      string     `json:"workload"`
-	Jobs          int        `json:"jobs"`
-	Candidates    int        `json:"candidates"`
-	Serial        perfConfig `json:"serial"`
-	Parallel      perfConfig `json:"parallel"`
-	Speedup       float64    `json:"speedup"`
-	Cache         perfCache  `json:"cache"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	NumCPU        int          `json:"num_cpu"`
+	Workload      string       `json:"workload"`
+	Jobs          int          `json:"jobs"`
+	Candidates    int          `json:"candidates"`
+	Serial        perfConfig   `json:"serial"`
+	Parallel      perfConfig   `json:"parallel"`
+	Speedup       float64      `json:"speedup,omitempty"`
+	Compile       perfCompile  `json:"compile"`
+	Baseline      perfBaseline `json:"baseline"`
+	Cache         perfCache    `json:"cache"`
 }
+
+// minParallelProcs is the floor for the parallel leg: measuring "parallel"
+// speedup with fewer schedulable threads than workers is how PR 2 recorded a
+// misleading 0.97x.
+const minParallelProcs = 4
 
 // runPerf measures Pipeline.Recompile wall-clock at Workers=1 vs
 // Workers=workers over a fixed job set (cold cache each iteration, so the
-// comparison is honest), plus compile-cache hit rates over repeated passes,
-// and writes the result as JSON to outPath.
+// comparison is honest), plus a single-compile microbenchmark and
+// compile-cache hit rates over repeated passes, and writes the result as JSON
+// to outPath.
 func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose bool) error {
 	if workers <= 0 {
 		workers = 4
@@ -99,6 +143,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 		})
 		return perfConfig{
 			Workers:     w,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			NsPerOp:     res.NsPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
@@ -111,9 +156,58 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 	if err != nil {
 		return err
 	}
-	parallel, err := measure(workers)
-	if err != nil {
-		return err
+
+	// Parallel leg: raise GOMAXPROCS to at least minParallelProcs so the
+	// worker goroutines can actually run concurrently. A single-core
+	// machine cannot produce a meaningful parallel measurement at all, so
+	// the leg is skipped there with a logged warning rather than recorded
+	// as a misleading ~1.0x.
+	var parallel perfConfig
+	if runtime.NumCPU() < 2 {
+		note := fmt.Sprintf("skipped: single-core machine (NumCPU=1); parallel leg needs GOMAXPROCS >= %d schedulable cores", minParallelProcs)
+		fmt.Fprintf(os.Stderr, "steerq-bench: warning: %s\n", note)
+		parallel = perfConfig{
+			Workers:    workers,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Skipped:    true,
+			Note:       note,
+		}
+	} else {
+		prev := runtime.GOMAXPROCS(0)
+		procs := prev
+		if procs < minParallelProcs {
+			procs = minParallelProcs
+		}
+		runtime.GOMAXPROCS(procs)
+		parallel, err = measure(workers)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Single-compile microbenchmark: one job, default (all-rules)
+	// configuration, fresh memo per iteration.
+	full := bitvec.AllSet(bitvec.Width)
+	job := jobs[0]
+	var compileErr error
+	cres := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, e := h.Opt.Optimize(job.Root, full); e != nil && compileErr == nil {
+				compileErr = e
+			}
+		}
+	})
+	if compileErr != nil {
+		return fmt.Errorf("perf: compile %s: %w", job.ID, compileErr)
+	}
+	compile := perfCompile{
+		Job:              job.ID,
+		NsPerCompile:     cres.NsPerOp(),
+		AllocsPerCompile: cres.AllocsPerOp(),
+		BytesPerCompile:  cres.AllocedBytesPerOp(),
+		Iterations:       cres.N,
 	}
 
 	// Cache effectiveness: two passes over the same jobs through one cache —
@@ -126,14 +220,21 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 	}
 	st := cache.Stats()
 
+	baseline := prBaseline
+	baseline.NsReductionPct = reductionPct(baseline.NsPerOp, serial.NsPerOp)
+	baseline.AllocReductionPct = reductionPct(baseline.AllocsPerOp, serial.AllocsPerOp)
+	baseline.BytesReductionPct = reductionPct(baseline.BytesPerOp, serial.BytesPerOp)
+
 	rep := perfReport{
 		GeneratedUnix: time.Now().Unix(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		Workload:      wl,
 		Jobs:          len(jobs),
 		Candidates:    m,
 		Serial:        serial,
 		Parallel:      parallel,
+		Compile:       compile,
+		Baseline:      baseline,
 		Cache: perfCache{
 			Hits:    st.Hits,
 			Misses:  st.Misses,
@@ -141,7 +242,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 			HitRate: st.HitRate(),
 		},
 	}
-	if parallel.NsPerOp > 0 {
+	if !parallel.Skipped && parallel.NsPerOp > 0 {
 		rep.Speedup = float64(serial.NsPerOp) / float64(parallel.NsPerOp)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -152,10 +253,19 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("perf: %d jobs x %d candidates on GOMAXPROCS=%d\n", len(jobs), m, rep.GoMaxProcs)
-	fmt.Printf("  workers=1: %s/op  %d allocs/op\n", time.Duration(serial.NsPerOp), serial.AllocsPerOp)
-	fmt.Printf("  workers=%d: %s/op  %d allocs/op  (%.2fx speedup)\n",
-		workers, time.Duration(parallel.NsPerOp), parallel.AllocsPerOp, rep.Speedup)
+	fmt.Printf("perf: %d jobs x %d candidates on %d CPU(s)\n", len(jobs), m, rep.NumCPU)
+	fmt.Printf("  workers=1 (GOMAXPROCS=%d): %s/op  %d allocs/op  %d B/op\n",
+		serial.GoMaxProcs, time.Duration(serial.NsPerOp), serial.AllocsPerOp, serial.BytesPerOp)
+	if parallel.Skipped {
+		fmt.Printf("  workers=%d: %s\n", workers, parallel.Note)
+	} else {
+		fmt.Printf("  workers=%d (GOMAXPROCS=%d): %s/op  %d allocs/op  (%.2fx speedup)\n",
+			workers, parallel.GoMaxProcs, time.Duration(parallel.NsPerOp), parallel.AllocsPerOp, rep.Speedup)
+	}
+	fmt.Printf("  compile %s: %s  %d allocs  %d B\n",
+		compile.Job, time.Duration(compile.NsPerCompile), compile.AllocsPerCompile, compile.BytesPerCompile)
+	fmt.Printf("  vs baseline: allocs -%.1f%%  bytes -%.1f%%  time -%.1f%%\n",
+		baseline.AllocReductionPct, baseline.BytesReductionPct, baseline.NsReductionPct)
 	fmt.Printf("  cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
 	fmt.Printf("  wrote %s\n", outPath)
@@ -163,4 +273,11 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 		fmt.Fprintf(os.Stderr, "%s", data)
 	}
 	return nil
+}
+
+func reductionPct(base, now int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (1 - float64(now)/float64(base))
 }

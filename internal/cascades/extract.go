@@ -21,11 +21,7 @@ func (s *search) extract(w *winner) (*plan.PhysNode, bitvec.Vector) {
 			sig.Set(p.ruleID)
 		}
 		if p.lexpr != nil {
-			for _, id := range p.lexpr.Provenance {
-				if id >= 0 {
-					sig.Set(id)
-				}
-			}
+			sig = sig.Or(p.lexpr.Provenance)
 		}
 		n := &plan.PhysNode{
 			Op:       p.op,
@@ -48,11 +44,18 @@ func (s *search) extract(w *winner) (*plan.PhysNode, bitvec.Vector) {
 			n.Children[i] = rec(c)
 		}
 		n.TotalCost = n.EstCost
-		seen := make(map[*plan.PhysNode]bool)
-		for _, c := range n.Children {
-			if !seen[c] {
+		// Count each distinct child subtree once; operators have few
+		// children, so a linear dup scan beats a per-node map.
+		for i, c := range n.Children {
+			dup := false
+			for _, prev := range n.Children[:i] {
+				if prev == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				n.TotalCost += c.TotalCost
-				seen[c] = true
 			}
 		}
 		return n

@@ -2,7 +2,6 @@ package cascades
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"steerq/internal/cost"
@@ -35,19 +34,94 @@ type pexpr struct {
 // winner is the cached best plan of a group for one requirement.
 type winner = pexpr
 
-func distKey(d plan.Distribution) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d/%d:", d.Kind, d.DOP)
-	for _, k := range d.Keys {
-		fmt.Fprintf(&b, "%d,", k)
+// distKey is a small comparable form of a distribution requirement, used as
+// the winner-cache key so probing the cache never builds a string. The common
+// case (at most four hash keys, everything int32-sized) packs into 40 bytes;
+// anything wider (absent from the workloads, but kept exact for safety)
+// spills the whole requirement into an injectively encoded string, and the
+// two shapes can never collide because extra is non-empty exactly on the
+// spill path.
+type distKey struct {
+	kind  uint8
+	nkeys uint8
+	dop   int32
+	keys  [4]int32
+	extra string
+}
+
+func makeDistKey(d plan.Distribution) distKey {
+	fits := int(d.Kind) >= 0 && int(d.Kind) <= 255 &&
+		len(d.Keys) <= 4 &&
+		int64(d.DOP) == int64(int32(d.DOP))
+	if fits {
+		for _, id := range d.Keys {
+			if int64(id) != int64(int32(id)) {
+				fits = false
+				break
+			}
+		}
 	}
-	return b.String()
+	if fits {
+		k := distKey{kind: uint8(d.Kind), nkeys: uint8(len(d.Keys)), dop: int32(d.DOP)}
+		for i, id := range d.Keys {
+			k.keys[i] = int32(id)
+		}
+		return k
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|", d.Kind, d.DOP)
+	for _, id := range d.Keys {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return distKey{extra: b.String()}
+}
+
+// newPexpr returns a zeroed candidate carved from the search's slab, so
+// candidate construction costs one heap allocation per chunk rather than one
+// per candidate. Slab entries live as long as the search, which outlives
+// every pexpr pointer handed out.
+func (s *search) newPexpr() *pexpr {
+	// Fixed small chunks: waste is bounded by one partial tail per search,
+	// which measured strictly better on total bytes than geometric growth
+	// (doubling over-reserves roughly 2x the live size on average).
+	if len(s.pexprSlab) == 0 {
+		s.pexprSlab = make([]pexpr, 64)
+	}
+	p := &s.pexprSlab[0]
+	s.pexprSlab = s.pexprSlab[1:]
+	return p
+}
+
+// childSlice carves an n-element child slice from a pooled backing array.
+// Capacity is clipped to n so no holder can append into a neighbour's
+// children. Carve before any recursive optimizeGroup call; the pool cursor
+// only ever advances, so carved slices are never handed out twice.
+func (s *search) childSlice(n int) []*pexpr {
+	if n == 0 {
+		return nil
+	}
+	if len(s.childPool) < n {
+		size := 256
+		if n > size {
+			size = n
+		}
+		s.childPool = make([]*pexpr, size)
+	}
+	c := s.childPool[:n:n]
+	s.childPool = s.childPool[n:]
+	return c
+}
+
+func (s *search) oneChild(p *pexpr) []*pexpr {
+	c := s.childSlice(1)
+	c[0] = p
+	return c
 }
 
 // optimizeGroup returns the cheapest physical plan for g delivering a
 // distribution satisfying req, or nil when none exists.
 func (s *search) optimizeGroup(g *Group, req plan.Distribution) *winner {
-	key := distKey(req)
+	key := makeDistKey(req)
 	if w, ok := g.winners[key]; ok {
 		return w
 	}
@@ -107,7 +181,7 @@ func (s *search) groupCandidates(g *Group) []*pexpr {
 // candidate. Returns nil when a child has no feasible plan.
 func (s *search) buildCandidate(e *MExpr, proto *PhysProto, ruleID int) *pexpr {
 	g := e.Group
-	children := make([]*pexpr, len(e.Children))
+	children := s.childSlice(len(e.Children))
 	var childTotal float64
 	for i, cg := range e.Children {
 		req := plan.Distribution{Kind: plan.DistAny}
@@ -145,14 +219,20 @@ func (s *search) buildCandidate(e *MExpr, proto *PhysProto, ruleID int) *pexpr {
 		childTotal += w.total
 	}
 
-	childProps := make([]cost.Props, len(children))
-	childSchemas := make([][]plan.Column, len(e.Children))
+	// Scratch slices: DerivePropsFrom and the estimator only read them, so
+	// the backing arrays are reused across every candidate of the search.
+	// All child recursion is complete by this point, so no nested
+	// buildCandidate can clobber them before DerivePropsFrom returns.
+	childProps := s.propsBuf[:0]
+	childSchemas := s.schemaBuf[:0]
 	for i := range children {
-		childProps[i] = children[i].props
-		childSchemas[i] = e.Children[i].Schema
+		childProps = append(childProps, children[i].props)
+		childSchemas = append(childSchemas, e.Children[i].Schema)
 	}
+	s.propsBuf, s.schemaBuf = childProps, childSchemas
 	props := s.m.DerivePropsFrom(proto.Node, childProps, childSchemas, g.Schema)
-	p := &pexpr{
+	p := s.newPexpr()
+	*p = pexpr{
 		op:       proto.Op,
 		node:     proto.Node,
 		children: children,
@@ -309,10 +389,11 @@ func (s *search) enforce(inner *pexpr, req plan.Distribution) *pexpr {
 	default:
 		return inner
 	}
-	ex := &pexpr{
+	ex := s.newPexpr()
+	*ex = pexpr{
 		op:       plan.PhysExchange,
 		node:     &plan.Node{Op: plan.OpSelect, Schema: inner.node.Schema}, // payload placeholder
-		children: []*pexpr{inner},
+		children: s.oneChild(inner),
 		ruleID:   s.o.EnforceExchangeID,
 		props:    inner.props,
 		rows:     inner.rows,
@@ -334,21 +415,28 @@ func (s *search) wrapLocalPre(inner *pexpr, proto *PhysProto, e *MExpr, ruleID i
 	switch proto.LocalPre {
 	case plan.PhysPartialHashAgg:
 		// Each partition holds at most one row per output group, estimated
-		// from this candidate's own child statistics.
-		final := s.m.DerivePropsFrom(proto.Node, []cost.Props{inner.props},
-			[][]plan.Column{e.Children[0].Schema}, e.Group.Schema)
+		// from this candidate's own child statistics. Uses the same
+		// read-only scratch slices as buildCandidate: this call completes
+		// before the caller fills them for its own DerivePropsFrom.
+		cp := append(s.propsBuf[:0], inner.props)
+		cs := append(s.schemaBuf[:0], e.Children[0].Schema)
+		s.propsBuf, s.schemaBuf = cp, cs
+		final := s.m.DerivePropsFrom(proto.Node, cp, cs, e.Group.Schema)
 		outRows = minFloat(inner.rows, final.Rows*float64(maxInt(inner.dop, 1)))
 	case plan.PhysLocalTop:
 		outRows = minFloat(inner.rows, float64(proto.Node.TopN*maxInt(inner.dop, 1)))
 	default:
 		// No other operator is used as a local pre-phase.
 	}
-	preProps := inner.props.Clone()
+	// Props value copy shares the NDV map copy-on-write; only Rows differs
+	// and nothing downstream mutates NDV maps in place (see cost.Props).
+	preProps := inner.props
 	preProps.Rows = maxFloat(1, outRows)
-	pre := &pexpr{
+	pre := s.newPexpr()
+	*pre = pexpr{
 		op:       proto.LocalPre,
 		node:     proto.Node,
-		children: []*pexpr{inner},
+		children: s.oneChild(inner),
 		lexpr:    e,
 		ruleID:   ruleID,
 		props:    preProps,
@@ -380,10 +468,11 @@ func maxInt(a, b int) int {
 // wrapSort inserts a Sort enforcer above a child winner (merge join, stream
 // aggregation).
 func (s *search) wrapSort(inner *pexpr, g *Group) *pexpr {
-	srt := &pexpr{
+	srt := s.newPexpr()
+	*srt = pexpr{
 		op:       plan.PhysSort,
 		node:     &plan.Node{Op: plan.OpSelect, Schema: g.Schema},
-		children: []*pexpr{inner},
+		children: s.oneChild(inner),
 		ruleID:   s.o.EnforceSortID,
 		props:    inner.props,
 		rows:     inner.rows,
@@ -398,12 +487,17 @@ func (s *search) wrapSort(inner *pexpr, g *Group) *pexpr {
 }
 
 // SortedKeys returns column IDs sorted ascending (canonical form for hash
-// distribution requirements).
+// distribution requirements). Key lists are tiny, so insertion sort beats
+// sort.Slice and avoids its closure allocation on a per-candidate path.
 func SortedKeys(cols []plan.Column) []plan.ColumnID {
 	ids := make([]plan.ColumnID, len(cols))
 	for i, c := range cols {
 		ids[i] = c.ID
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 	return ids
 }

@@ -1,0 +1,91 @@
+package cascades
+
+import (
+	"fmt"
+	"strings"
+
+	"steerq/internal/plan"
+)
+
+// This file preserves the pre-hash string-keyed interning path verbatim. It
+// is reachable only with Optimizer.LegacyIntern (a test-only knob): the
+// memo-equivalence golden test compiles every workload through both paths
+// and asserts identical memos, signatures, costs and plans. Delete this file
+// together with that knob once the hashed path has survived a few PRs.
+
+// legacyExprKey builds the structural interning key of an expression:
+// operator, payload (with column IDs and literal values), and child group
+// IDs.
+func legacyExprKey(n *plan.Node, children []*Group) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", n.Op)
+	switch n.Op {
+	case plan.OpGet:
+		b.WriteString(n.Table)
+		legacyKeyExpr(&b, n.Pred)
+	case plan.OpSelect, plan.OpJoin:
+		legacyKeyExpr(&b, n.Pred)
+	case plan.OpProject:
+		for _, p := range n.Projs {
+			fmt.Fprintf(&b, "p%d=", p.Out.ID)
+			legacyKeyExpr(&b, p.Expr)
+		}
+	case plan.OpGroupBy:
+		for _, k := range n.GroupKeys {
+			fmt.Fprintf(&b, "k%d,", k.ID)
+		}
+		for _, a := range n.Aggs {
+			fmt.Fprintf(&b, "a%s:%d=", a.Fn, a.Out.ID)
+			legacyKeyExpr(&b, a.Arg)
+		}
+	case plan.OpProcess:
+		b.WriteString(n.Processor)
+	case plan.OpReduce:
+		b.WriteString(n.Processor)
+		for _, k := range n.ReduceKeys {
+			fmt.Fprintf(&b, "k%d,", k.ID)
+		}
+	case plan.OpTop:
+		fmt.Fprintf(&b, "n%d", n.TopN)
+		for _, k := range n.SortKeys {
+			fmt.Fprintf(&b, "s%d:%t,", k.Col.ID, k.Desc)
+		}
+	case plan.OpOutput:
+		b.WriteString(n.OutputPath)
+	default:
+		// OpUnionAll, OpMulti: structure alone (children below) is the key.
+	}
+	// Schema IDs distinguish otherwise identical payloads over different
+	// column identities (e.g. two scans of the same stream bound twice).
+	b.WriteString("|s:")
+	for _, c := range n.Schema {
+		fmt.Fprintf(&b, "%d,", c.ID)
+	}
+	b.WriteString("|c:")
+	for _, g := range children {
+		fmt.Fprintf(&b, "%d,", g.ID)
+	}
+	return b.String()
+}
+
+func legacyKeyExpr(b *strings.Builder, e *plan.Expr) {
+	if e == nil {
+		b.WriteByte('~')
+		return
+	}
+	fmt.Fprintf(b, "(%d", e.Kind)
+	switch e.Kind {
+	case plan.ExprColumn:
+		fmt.Fprintf(b, ":%d", e.Col.ID)
+	case plan.ExprConst:
+		b.WriteString(e.Lit.String())
+	case plan.ExprCmp, plan.ExprArith:
+		fmt.Fprintf(b, ":%d", e.Op)
+	case plan.ExprFunc:
+		b.WriteString(e.Fn)
+	}
+	for _, a := range e.Args {
+		legacyKeyExpr(b, a)
+	}
+	b.WriteByte(')')
+}

@@ -12,9 +12,10 @@
 package cascades
 
 import (
-	"fmt"
-	"strings"
+	"encoding/binary"
+	"math"
 
+	"steerq/internal/bitvec"
 	"steerq/internal/cost"
 	"steerq/internal/plan"
 )
@@ -35,22 +36,25 @@ type MExpr struct {
 	// expressions of the initial plan.
 	RuleID int
 
-	// Provenance lists the rule IDs on the derivation chain from the
-	// initial plan to this expression (including RuleID). These rules
-	// "directly contribute" to any final plan using this expression.
-	Provenance []int
+	// Provenance holds the rule IDs on the derivation chain from the
+	// initial plan to this expression (including RuleID), one bit per rule.
+	// These rules "directly contribute" to any final plan using this
+	// expression. Stored as a bitset so chaining a derivation is a value
+	// copy plus one Set, and the signature union during extraction is a
+	// single Or — no per-intern slice copies.
+	Provenance bitvec.Vector
 
-	fired map[int]bool // transformation rules already applied to this expr
+	fired bitvec.Vector // transformation rules already applied to this expr
+
+	// bucketNext chains expressions sharing an interning hash bucket
+	// (see Memo.buckets). Intrusive so inserting an expression into the
+	// index never allocates.
+	bucketNext *MExpr
 }
 
-func (e *MExpr) firedRule(id int) bool { return e.fired[id] }
+func (e *MExpr) firedRule(id int) bool { return e.fired.Get(id) }
 
-func (e *MExpr) markFired(id int) {
-	if e.fired == nil {
-		e.fired = make(map[int]bool)
-	}
-	e.fired[id] = true
-}
+func (e *MExpr) markFired(id int) { e.fired.Set(id) }
 
 // Group is an equivalence class of logical expressions producing the same
 // result set.
@@ -62,7 +66,7 @@ type Group struct {
 
 	// winners caches the best physical alternative per required
 	// distribution.
-	winners map[string]*winner
+	winners map[distKey]*winner
 }
 
 // Memo is the space of explored plans.
@@ -71,10 +75,37 @@ type Memo struct {
 	// Root is the group of the job's root operator.
 	Root *Group
 
-	est     *cost.Estimator
-	index   map[string]*Group // structural interning of expressions
+	est *cost.Estimator
+	// buckets is the structural interning index: expressions keyed by a
+	// 64-bit FNV-1a hash of their structural key, with collisions resolved
+	// by exact structural equality (exprEqual) along the intrusive
+	// MExpr.bucketNext chain. Interning therefore never materializes a key
+	// string; the serialized key lives only in scratch.
+	buckets map[uint64]*MExpr
+	// scratch is the reusable key-serialization buffer behind exprHash.
+	// Once grown to the largest key it is never reallocated.
+	scratch []byte
+	// hashMask degrades hashes for tests: all-ones in production, 0 forces
+	// every expression into one collision bucket so the structural-equality
+	// fallback is exercised end to end.
+	hashMask uint64
+	// legacy reroutes interning through the pre-hash string-keyed index.
+	// Test-only: the memo-equivalence golden test compiles every workload
+	// through both paths and asserts identical memos, signatures and plans.
+	legacy      bool
+	legacyIndex map[string]*Group
+
 	byNode  map[*plan.Node]*Group
 	nextCol plan.ColumnID
+
+	// exprSlab and groupPool are chunked allocators for expressions and
+	// their child-group slices; propsBuf and schemaBuf are reusable
+	// scratch for deriveProps (read-only to the estimator). They cut the
+	// memo's per-expression heap allocations to one per chunk.
+	exprSlab  []MExpr
+	groupPool []*Group
+	propsBuf  []cost.Props
+	schemaBuf [][]plan.Column
 
 	// ExprLimit bounds expressions per group; TotalLimit bounds the whole
 	// memo. Exceeding either stops further exploration (big-data jobs have
@@ -87,12 +118,22 @@ type Memo struct {
 // NewMemo builds a memo over the logical plan DAG rooted at root, deriving
 // group properties with the given estimator.
 func NewMemo(root *plan.Node, est *cost.Estimator) *Memo {
+	return newMemo(root, est, false)
+}
+
+func newMemo(root *plan.Node, est *cost.Estimator, legacy bool) *Memo {
 	m := &Memo{
 		est:        est,
-		index:      make(map[string]*Group),
 		byNode:     make(map[*plan.Node]*Group),
+		hashMask:   ^uint64(0),
+		legacy:     legacy,
 		ExprLimit:  10,
 		TotalLimit: 2048,
+	}
+	if legacy {
+		m.legacyIndex = make(map[string]*Group)
+	} else {
+		m.buckets = make(map[uint64]*MExpr, 64)
 	}
 	maxID := plan.ColumnID(0)
 	root.Walk(func(n *plan.Node) {
@@ -119,31 +160,97 @@ func (m *Memo) NewColID() plan.ColumnID {
 	return m.nextCol
 }
 
+// lookupExpr finds the group already holding a structurally identical
+// expression. The returned hash is the expression's interning hash (0 on the
+// legacy path) and must be passed unchanged to insertExpr when the caller
+// interns a new expression.
+func (m *Memo) lookupExpr(n *plan.Node, children []*Group) (*Group, uint64, bool) {
+	if m.legacy {
+		g, ok := m.legacyIndex[legacyExprKey(n, children)]
+		return g, 0, ok
+	}
+	h := m.exprHash(n, children)
+	for e := m.buckets[h]; e != nil; e = e.bucketNext {
+		if exprEqual(n, children, e.Node, e.Children) {
+			return e.Group, h, true
+		}
+	}
+	return nil, h, false
+}
+
+// insertExpr records a newly interned expression in the structural index
+// under the hash returned by the matching lookupExpr call. The expression is
+// prepended to its bucket chain; chain order is irrelevant because at most
+// one chained expression can be structurally equal to any probe.
+func (m *Memo) insertExpr(e *MExpr, hash uint64) {
+	if m.legacy {
+		m.legacyIndex[legacyExprKey(e.Node, e.Children)] = e.Group
+		return
+	}
+	e.bucketNext = m.buckets[hash]
+	m.buckets[hash] = e
+}
+
+// newMExpr returns a zeroed expression carved from the memo's slab, one heap
+// allocation per chunk instead of one per expression.
+func (m *Memo) newMExpr() *MExpr {
+	// Fixed small chunks: waste is bounded by one partial tail per memo,
+	// which measured strictly better on total bytes than geometric growth
+	// (doubling over-reserves roughly 2x the live size on average).
+	if len(m.exprSlab) == 0 {
+		m.exprSlab = make([]MExpr, 64)
+	}
+	e := &m.exprSlab[0]
+	m.exprSlab = m.exprSlab[1:]
+	return e
+}
+
+// groupSlice carves an n-element child-group slice from a pooled backing
+// array, capacity clipped so holders cannot append into a neighbour. Carved
+// before any recursive interning fills it; the pool cursor only advances, so
+// a slice is never handed out twice.
+func (m *Memo) groupSlice(n int) []*Group {
+	if n == 0 {
+		return nil
+	}
+	if len(m.groupPool) < n {
+		size := 128
+		if n > size {
+			size = n
+		}
+		m.groupPool = make([]*Group, size)
+	}
+	s := m.groupPool[:n:n]
+	m.groupPool = m.groupPool[n:]
+	return s
+}
+
 // groupForNode interns the logical DAG bottom-up, preserving sharing: a
 // *plan.Node consumed by several parents maps to one group.
 func (m *Memo) groupForNode(n *plan.Node) *Group {
 	if g, ok := m.byNode[n]; ok {
 		return g
 	}
-	children := make([]*Group, len(n.Children))
+	children := m.groupSlice(len(n.Children))
 	for i, c := range n.Children {
 		children[i] = m.groupForNode(c)
 	}
 	payload := shallow(n)
-	key := exprKey(payload, children)
-	if g, ok := m.index[key]; ok {
-		m.byNode[n] = g
-		return g
+	known, h, ok := m.lookupExpr(payload, children)
+	if ok {
+		m.byNode[n] = known
+		return known
 	}
-	g := &Group{ID: GroupID(len(m.Groups)), Schema: n.Schema, winners: make(map[string]*winner)}
-	e := &MExpr{Node: payload, Children: children, Group: g, RuleID: -1}
+	g := &Group{ID: GroupID(len(m.Groups)), Schema: n.Schema, winners: make(map[distKey]*winner)}
+	e := m.newMExpr()
+	*e = MExpr{Node: payload, Children: children, Group: g, RuleID: -1}
 	// Groups usually grow past one expression during exploration; a little
 	// up-front capacity avoids the append regrowth on the optimizer's
 	// hottest allocation site without over-reserving for leaf groups.
 	g.Exprs = append(make([]*MExpr, 0, 4), e)
 	g.Props = m.deriveProps(e)
 	m.Groups = append(m.Groups, g)
-	m.index[key] = g
+	m.insertExpr(e, h)
 	m.byNode[n] = g
 	m.totalExprs++
 	return g
@@ -192,25 +299,17 @@ func (m *Memo) Intern(rn *RNode, target *Group, from *MExpr, ruleID int) bool {
 	if m.Full() {
 		return false
 	}
-	prov := appendProv(from.Provenance, ruleID)
+	prov := from.Provenance
+	if ruleID >= 0 {
+		prov.Set(ruleID)
+	}
 	_, added := m.intern(rn, target, prov, ruleID)
 	return added
 }
 
-func appendProv(base []int, ruleID int) []int {
-	out := make([]int, 0, len(base)+1)
-	out = append(out, base...)
-	for _, id := range out {
-		if id == ruleID {
-			return out
-		}
-	}
-	return append(out, ruleID)
-}
-
-func (m *Memo) intern(rn *RNode, target *Group, prov []int, ruleID int) (*Group, bool) {
+func (m *Memo) intern(rn *RNode, target *Group, prov bitvec.Vector, ruleID int) (*Group, bool) {
 	added := false
-	children := make([]*Group, len(rn.Children))
+	children := m.groupSlice(len(rn.Children))
 	for i, c := range rn.Children {
 		if c.Group != nil {
 			children[i] = c.Group
@@ -220,26 +319,27 @@ func (m *Memo) intern(rn *RNode, target *Group, prov []int, ruleID int) (*Group,
 		children[i] = g
 		added = added || subAdded
 	}
-	key := exprKey(rn.Node, children)
-	if g, ok := m.index[key]; ok {
+	g, h, ok := m.lookupExpr(rn.Node, children)
+	if ok {
 		// Expression already known. If it is known in a different group
 		// than the target, the two groups are semantically equal but we
 		// do not merge groups (a standard simplification); the duplicate
 		// is dropped.
 		return g, added
 	}
-	g := target
+	g = target
 	if g == nil {
-		g = &Group{ID: GroupID(len(m.Groups)), Schema: rn.Node.Schema, winners: make(map[string]*winner)}
+		g = &Group{ID: GroupID(len(m.Groups)), Schema: rn.Node.Schema, winners: make(map[distKey]*winner)}
 		g.Exprs = make([]*MExpr, 0, 4)
 		m.Groups = append(m.Groups, g)
 	}
 	if len(g.Exprs) >= m.ExprLimit && target != nil {
 		return g, added
 	}
-	e := &MExpr{Node: rn.Node, Children: children, Group: g, RuleID: ruleID, Provenance: prov}
+	e := m.newMExpr()
+	*e = MExpr{Node: rn.Node, Children: children, Group: g, RuleID: ruleID, Provenance: prov}
 	g.Exprs = append(g.Exprs, e)
-	m.index[key] = g
+	m.insertExpr(e, h)
 	m.totalExprs++
 	if target == nil {
 		g.Props = m.deriveProps(e)
@@ -247,90 +347,273 @@ func (m *Memo) intern(rn *RNode, target *Group, prov []int, ruleID int) (*Group,
 	return g, true
 }
 
-// exprKey builds the structural interning key of an expression: operator,
-// payload (with column IDs and literal values), and child group IDs.
-func exprKey(n *plan.Node, children []*Group) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", n.Op)
+// FNV-1a constants (hash/fnv, inlined so hashing runs over the scratch
+// buffer without an allocation or interface call).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// exprHash serializes the structural key of an expression into the memo's
+// reusable scratch buffer and returns its FNV-1a hash. The serialized fields
+// are exactly those exprEqual compares: operator, payload, schema column IDs
+// and child group IDs.
+func (m *Memo) exprHash(n *plan.Node, children []*Group) uint64 {
+	b := appendExprKey(m.scratch[:0], n, children)
+	m.scratch = b
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h & m.hashMask
+}
+
+// appendExprKey appends the structural interning key of an expression:
+// operator, payload (with column IDs and literal values), schema column IDs
+// and child group IDs. The encoding only needs to be deterministic — equal
+// expressions serialize identically; collisions between unequal expressions
+// are resolved by exprEqual.
+func appendExprKey(b []byte, n *plan.Node, children []*Group) []byte {
+	b = binary.AppendUvarint(b, uint64(n.Op))
 	switch n.Op {
 	case plan.OpGet:
-		b.WriteString(n.Table)
-		keyExpr(&b, n.Pred)
+		b = appendKeyStr(b, n.Table)
+		b = appendKeyExpr(b, n.Pred)
 	case plan.OpSelect, plan.OpJoin:
-		keyExpr(&b, n.Pred)
+		b = appendKeyExpr(b, n.Pred)
 	case plan.OpProject:
 		for _, p := range n.Projs {
-			fmt.Fprintf(&b, "p%d=", p.Out.ID)
-			keyExpr(&b, p.Expr)
+			b = binary.AppendUvarint(b, uint64(p.Out.ID))
+			b = appendKeyExpr(b, p.Expr)
 		}
 	case plan.OpGroupBy:
 		for _, k := range n.GroupKeys {
-			fmt.Fprintf(&b, "k%d,", k.ID)
+			b = binary.AppendUvarint(b, uint64(k.ID))
 		}
+		b = append(b, 0xfe) // keys/aggs separator
 		for _, a := range n.Aggs {
-			fmt.Fprintf(&b, "a%s:%d=", a.Fn, a.Out.ID)
-			keyExpr(&b, a.Arg)
+			b = appendKeyStr(b, a.Fn)
+			b = binary.AppendUvarint(b, uint64(a.Out.ID))
+			b = appendKeyExpr(b, a.Arg)
 		}
 	case plan.OpProcess:
-		b.WriteString(n.Processor)
+		b = appendKeyStr(b, n.Processor)
 	case plan.OpReduce:
-		b.WriteString(n.Processor)
+		b = appendKeyStr(b, n.Processor)
 		for _, k := range n.ReduceKeys {
-			fmt.Fprintf(&b, "k%d,", k.ID)
+			b = binary.AppendUvarint(b, uint64(k.ID))
 		}
 	case plan.OpTop:
-		fmt.Fprintf(&b, "n%d", n.TopN)
+		b = binary.AppendUvarint(b, uint64(n.TopN))
 		for _, k := range n.SortKeys {
-			fmt.Fprintf(&b, "s%d:%t,", k.Col.ID, k.Desc)
+			b = binary.AppendUvarint(b, uint64(k.Col.ID))
+			if k.Desc {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
 		}
 	case plan.OpOutput:
-		b.WriteString(n.OutputPath)
+		b = appendKeyStr(b, n.OutputPath)
 	default:
 		// OpUnionAll, OpMulti: structure alone (children below) is the key.
 	}
 	// Schema IDs distinguish otherwise identical payloads over different
 	// column identities (e.g. two scans of the same stream bound twice).
-	b.WriteString("|s:")
+	b = append(b, 0xfd)
 	for _, c := range n.Schema {
-		fmt.Fprintf(&b, "%d,", c.ID)
+		b = binary.AppendUvarint(b, uint64(c.ID))
 	}
-	b.WriteString("|c:")
+	b = append(b, 0xfd)
 	for _, g := range children {
-		fmt.Fprintf(&b, "%d,", g.ID)
+		b = binary.AppendUvarint(b, uint64(g.ID))
 	}
-	return b.String()
+	return b
 }
 
-func keyExpr(b *strings.Builder, e *plan.Expr) {
+func appendKeyStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendKeyExpr(b []byte, e *plan.Expr) []byte {
 	if e == nil {
-		b.WriteByte('~')
-		return
+		return append(b, 0xff)
 	}
-	fmt.Fprintf(b, "(%d", e.Kind)
+	b = append(b, '(')
+	b = binary.AppendUvarint(b, uint64(e.Kind))
 	switch e.Kind {
 	case plan.ExprColumn:
-		fmt.Fprintf(b, ":%d", e.Col.ID)
+		b = binary.AppendUvarint(b, uint64(e.Col.ID))
 	case plan.ExprConst:
-		b.WriteString(e.Lit.String())
+		b = appendKeyLiteral(b, e.Lit)
 	case plan.ExprCmp, plan.ExprArith:
-		fmt.Fprintf(b, ":%d", e.Op)
+		b = binary.AppendUvarint(b, uint64(e.Op))
 	case plan.ExprFunc:
-		b.WriteString(e.Fn)
+		b = appendKeyStr(b, e.Fn)
 	}
 	for _, a := range e.Args {
-		keyExpr(b, a)
+		b = appendKeyExpr(b, a)
 	}
-	b.WriteByte(')')
+	return append(b, ')')
+}
+
+func appendKeyLiteral(b []byte, l plan.Literal) []byte {
+	if l.IsString {
+		b = append(b, 's')
+		return appendKeyStr(b, l.S)
+	}
+	b = append(b, 'f')
+	if math.IsNaN(l.F) {
+		// Canonicalize NaN payloads so literals that compare equal under
+		// literalEqual always hash identically.
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(math.NaN()))
+	}
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(l.F))
+}
+
+// exprEqual reports structural equality of an interning probe against a
+// stored expression. It compares exactly the fields appendExprKey hashes, so
+// the (hash, equality) pair behaves like the former string key: equal
+// expressions always collide, and colliding unequal expressions are told
+// apart here.
+func exprEqual(n1 *plan.Node, ch1 []*Group, n2 *plan.Node, ch2 []*Group) bool {
+	if n1.Op != n2.Op || len(ch1) != len(ch2) || len(n1.Schema) != len(n2.Schema) {
+		return false
+	}
+	for i := range ch1 {
+		if ch1[i] != ch2[i] {
+			return false
+		}
+	}
+	for i := range n1.Schema {
+		if n1.Schema[i].ID != n2.Schema[i].ID {
+			return false
+		}
+	}
+	switch n1.Op {
+	case plan.OpGet:
+		return n1.Table == n2.Table && keyExprEqual(n1.Pred, n2.Pred)
+	case plan.OpSelect, plan.OpJoin:
+		return keyExprEqual(n1.Pred, n2.Pred)
+	case plan.OpProject:
+		if len(n1.Projs) != len(n2.Projs) {
+			return false
+		}
+		for i := range n1.Projs {
+			if n1.Projs[i].Out.ID != n2.Projs[i].Out.ID || !keyExprEqual(n1.Projs[i].Expr, n2.Projs[i].Expr) {
+				return false
+			}
+		}
+		return true
+	case plan.OpGroupBy:
+		if len(n1.GroupKeys) != len(n2.GroupKeys) || len(n1.Aggs) != len(n2.Aggs) {
+			return false
+		}
+		for i := range n1.GroupKeys {
+			if n1.GroupKeys[i].ID != n2.GroupKeys[i].ID {
+				return false
+			}
+		}
+		for i := range n1.Aggs {
+			a1, a2 := &n1.Aggs[i], &n2.Aggs[i]
+			if a1.Fn != a2.Fn || a1.Out.ID != a2.Out.ID || !keyExprEqual(a1.Arg, a2.Arg) {
+				return false
+			}
+		}
+		return true
+	case plan.OpProcess:
+		return n1.Processor == n2.Processor
+	case plan.OpReduce:
+		if n1.Processor != n2.Processor || len(n1.ReduceKeys) != len(n2.ReduceKeys) {
+			return false
+		}
+		for i := range n1.ReduceKeys {
+			if n1.ReduceKeys[i].ID != n2.ReduceKeys[i].ID {
+				return false
+			}
+		}
+		return true
+	case plan.OpTop:
+		if n1.TopN != n2.TopN || len(n1.SortKeys) != len(n2.SortKeys) {
+			return false
+		}
+		for i := range n1.SortKeys {
+			if n1.SortKeys[i].Col.ID != n2.SortKeys[i].Col.ID || n1.SortKeys[i].Desc != n2.SortKeys[i].Desc {
+				return false
+			}
+		}
+		return true
+	case plan.OpOutput:
+		return n1.OutputPath == n2.OutputPath
+	default:
+		// OpUnionAll, OpMulti: structure alone (children above) is the key.
+		return true
+	}
+}
+
+func keyExprEqual(a, b *plan.Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || len(a.Args) != len(b.Args) {
+		return false
+	}
+	switch a.Kind {
+	case plan.ExprColumn:
+		if a.Col.ID != b.Col.ID {
+			return false
+		}
+	case plan.ExprConst:
+		if !literalEqual(a.Lit, b.Lit) {
+			return false
+		}
+	case plan.ExprCmp, plan.ExprArith:
+		if a.Op != b.Op {
+			return false
+		}
+	case plan.ExprFunc:
+		if a.Fn != b.Fn {
+			return false
+		}
+	}
+	for i := range a.Args {
+		if !keyExprEqual(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// literalEqual matches the equality the former string keys induced: exact
+// bit equality for numbers (so +0 and -0 stay distinct, as their decimal
+// renderings were), with all NaNs equal (they all rendered "NaN").
+func literalEqual(a, b plan.Literal) bool {
+	if a.IsString != b.IsString {
+		return false
+	}
+	if a.IsString {
+		return a.S == b.S
+	}
+	if math.IsNaN(a.F) || math.IsNaN(b.F) {
+		return math.IsNaN(a.F) && math.IsNaN(b.F)
+	}
+	return math.Float64bits(a.F) == math.Float64bits(b.F)
 }
 
 // deriveProps computes a group's estimated statistics from one expression.
+// The child slices are reusable scratch (read-only to the estimator); every
+// child group is fully interned before the call, so nothing re-enters the
+// memo while they are live.
 func (m *Memo) deriveProps(e *MExpr) cost.Props {
-	childProps := make([]cost.Props, len(e.Children))
-	childSchemas := make([][]plan.Column, len(e.Children))
-	for i, c := range e.Children {
-		childProps[i] = c.Props
-		childSchemas[i] = c.Schema
+	childProps := m.propsBuf[:0]
+	childSchemas := m.schemaBuf[:0]
+	for _, c := range e.Children {
+		childProps = append(childProps, c.Props)
+		childSchemas = append(childSchemas, c.Schema)
 	}
+	m.propsBuf, m.schemaBuf = childProps, childSchemas
 	return m.DerivePropsFrom(e.Node, childProps, childSchemas, e.Group.Schema)
 }
 

@@ -3,6 +3,7 @@ package cascades
 import (
 	"testing"
 
+	"steerq/internal/bitvec"
 	"steerq/internal/catalog"
 	"steerq/internal/cost"
 	"steerq/internal/plan"
@@ -109,7 +110,7 @@ func TestInternProvenanceChains(t *testing.T) {
 	if ne.RuleID != 123 {
 		t.Fatalf("variant rule ID %d", ne.RuleID)
 	}
-	if len(ne.Provenance) != 1 || ne.Provenance[0] != 123 {
+	if !ne.Provenance.Equal(bitvec.New(123)) {
 		t.Fatalf("variant provenance %v", ne.Provenance)
 	}
 	// A second derivation from the variant chains both rule IDs.
@@ -125,7 +126,7 @@ func TestInternProvenanceChains(t *testing.T) {
 		t.Fatal("second variant not interned")
 	}
 	ne2 := selExpr.Group.Exprs[len(selExpr.Group.Exprs)-1]
-	if len(ne2.Provenance) != 2 || ne2.Provenance[0] != 123 || ne2.Provenance[1] != 124 {
+	if !ne2.Provenance.Equal(bitvec.New(123, 124)) {
 		t.Fatalf("chained provenance %v", ne2.Provenance)
 	}
 }
@@ -155,6 +156,92 @@ func TestExprLimitBoundsGroup(t *testing.T) {
 	}
 	if got := len(selExpr.Group.Exprs); got > 3 {
 		t.Fatalf("group grew to %d exprs past limit 3", got)
+	}
+}
+
+// selectVariant builds a rule-output Select over base's child group with a
+// distinct predicate constant, for interning tests.
+func selectVariant(base *MExpr, c float64) *RNode {
+	b := tcol(2, "b")
+	return &RNode{
+		Node: &plan.Node{
+			Op:     plan.OpSelect,
+			Pred:   plan.Cmp(plan.OpGT, plan.ColExpr(b), plan.NumExpr(c)),
+			Schema: base.Group.Schema,
+		},
+		Children: []RChild{GroupChild(base.Children[0])},
+	}
+}
+
+func findSelect(m *Memo) *MExpr {
+	for _, g := range m.Groups {
+		for _, e := range g.Exprs {
+			if e.Node.Op == plan.OpSelect {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// TestHashCollisionFallback degrades the interning hash to a constant so
+// every new expression lands in one bucket, and verifies the
+// structural-equality fallback still deduplicates exactly.
+func TestHashCollisionFallback(t *testing.T) {
+	m := NewMemo(scanSelect(), cost.NewEstimated(memoCatalog()))
+	m.hashMask = 0 // all expressions interned from here on collide
+	selExpr := findSelect(m)
+
+	va := selectVariant(selExpr, 1000)
+	if !m.Intern(va, selExpr.Group, selExpr, 50) {
+		t.Fatal("variant A not interned")
+	}
+	// A structurally identical copy must be caught by the equality scan of
+	// the shared bucket, not re-interned.
+	dup := selectVariant(selExpr, 1000)
+	if m.Intern(dup, selExpr.Group, selExpr, 51) {
+		t.Fatal("structurally identical expression re-interned under a hash collision")
+	}
+	// A structurally distinct expression with the same (degraded) hash must
+	// still intern as new.
+	vb := selectVariant(selExpr, 2000)
+	if !m.Intern(vb, selExpr.Group, selExpr, 52) {
+		t.Fatal("distinct variant rejected under a hash collision")
+	}
+	chain := 0
+	for e := m.buckets[0]; e != nil; e = e.bucketNext {
+		chain++
+		if e.Group != selExpr.Group {
+			t.Fatalf("bucketed expr resolved to group %d, want %d", e.Group.ID, selExpr.Group.ID)
+		}
+	}
+	if chain != 2 {
+		t.Fatalf("collision bucket holds %d exprs, want 2", chain)
+	}
+}
+
+// TestHashedMatchesLegacyIntern replays one intern sequence through the
+// hashed and the string-keyed paths and asserts identical memo shapes.
+func TestHashedMatchesLegacyIntern(t *testing.T) {
+	est := cost.NewEstimated(memoCatalog())
+	build := func(legacy bool) *Memo {
+		m := newMemo(scanSelect(), est, legacy)
+		sel := findSelect(m)
+		for i := 0; i < 6; i++ {
+			m.Intern(selectVariant(sel, float64(100+i%3)), sel.Group, sel, 40+i%3)
+		}
+		return m
+	}
+	hashed, legacy := build(false), build(true)
+	if len(hashed.Groups) != len(legacy.Groups) || hashed.TotalExprs() != legacy.TotalExprs() {
+		t.Fatalf("hashed memo %d groups / %d exprs, legacy %d / %d",
+			len(hashed.Groups), hashed.TotalExprs(), len(legacy.Groups), legacy.TotalExprs())
+	}
+	for i := range hashed.Groups {
+		if len(hashed.Groups[i].Exprs) != len(legacy.Groups[i].Exprs) {
+			t.Fatalf("group %d: hashed %d exprs, legacy %d", i,
+				len(hashed.Groups[i].Exprs), len(legacy.Groups[i].Exprs))
+		}
 	}
 }
 

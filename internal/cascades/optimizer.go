@@ -29,6 +29,12 @@ type Optimizer struct {
 	// Required rules in the rule set.
 	EnforceExchangeID int
 	EnforceSortID     int
+
+	// LegacyIntern reroutes memo interning through the pre-hash
+	// string-keyed path. Test-only: the memo-equivalence golden test
+	// compiles both paths and asserts identical results. Remove together
+	// with legacykey.go once the hashed path has baked.
+	LegacyIntern bool
 }
 
 // Result is the outcome of one compilation.
@@ -64,7 +70,7 @@ func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error
 	if root == nil {
 		return nil, errors.New("cascades: nil plan")
 	}
-	m := NewMemo(root, o.Est)
+	m := newMemo(root, o.Est, o.LegacyIntern)
 	if o.ExprLimit > 0 {
 		m.ExprLimit = o.ExprLimit
 	}
@@ -99,6 +105,16 @@ type search struct {
 	m          *Memo
 	cfg        bitvec.Vector
 	candidates map[*Group][]*pexpr
+
+	// pexprSlab and childPool are chunked allocators for candidates and
+	// their child slices; propsBuf and schemaBuf are reusable scratch for
+	// DerivePropsFrom inputs (never retained by the estimator). Together
+	// they take the physical search's hottest allocation sites from one
+	// heap allocation per candidate to one per chunk.
+	pexprSlab []pexpr
+	childPool []*pexpr
+	propsBuf  []cost.Props
+	schemaBuf [][]plan.Column
 }
 
 // explore runs transformation rules to a bounded fixpoint. Each

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"steerq/internal/xrand"
 )
@@ -84,6 +85,13 @@ type Stream struct {
 	Correlations []Correlation
 
 	seed uint64
+
+	// trueRowsMu guards trueRowsByDay, the memoized daily true sizes.
+	// TrueRows sits on the execution simulator's per-node path and an
+	// uncached computation costs a fresh ~5KB generator state; the same
+	// few days are asked for constantly.
+	trueRowsMu    sync.Mutex
+	trueRowsByDay map[int]float64
 }
 
 // Catalog is a read-only set of streams plus registered user-defined
@@ -164,6 +172,12 @@ func (s *Stream) Column(name string) *Column {
 // It is deterministic in (stream name, day): every stream evolves on its own
 // schedule.
 func (s *Stream) TrueRows(day int) float64 {
+	s.trueRowsMu.Lock()
+	if rows, ok := s.trueRowsByDay[day]; ok {
+		s.trueRowsMu.Unlock()
+		return rows
+	}
+	s.trueRowsMu.Unlock()
 	r := xrand.New(s.seed).Derive("stream", s.Name, "day", fmt.Sprint(day))
 	mult := r.LogNormal(0, s.DailySigma)
 	growth := math.Pow(s.GrowthPerDay, float64(day))
@@ -171,6 +185,14 @@ func (s *Stream) TrueRows(day int) float64 {
 	if rows < 1 {
 		rows = 1
 	}
+	// Compute outside the lock: a racing duplicate computation yields the
+	// identical deterministic value, so last-write-wins is harmless.
+	s.trueRowsMu.Lock()
+	if s.trueRowsByDay == nil {
+		s.trueRowsByDay = make(map[int]float64)
+	}
+	s.trueRowsByDay[day] = rows
+	s.trueRowsMu.Unlock()
 	return rows
 }
 

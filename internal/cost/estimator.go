@@ -79,13 +79,13 @@ func colStream(c plan.Column) string {
 	return ""
 }
 
-// Filter returns the properties after applying pred to input p.
+// Filter returns the properties after applying pred to input p. The output
+// shares p's NDV map unless clamping to the reduced row count changes an
+// entry (copy-on-write).
 func (e *Estimator) Filter(p Props, pred *plan.Expr) Props {
 	sel := e.Selectivity(pred, p)
-	out := p.Clone()
-	out.Rows = maxf(1, p.Rows*sel)
-	clampNDV(out.NDV, out.Rows)
-	return out
+	rows := maxf(1, p.Rows*sel)
+	return Props{Rows: rows, RowBytes: p.RowBytes, NDV: clampedNDV(p.NDV, rows)}
 }
 
 // Selectivity returns the selectivity of pred against input p.
@@ -463,9 +463,9 @@ func (e *Estimator) Process(in Props, udoName string) Props {
 		cpw = u.CPUPerRow
 	}
 	_ = cpw
-	out := in.Clone()
+	out := in
 	out.Rows = maxf(1, in.Rows*factor)
-	clampNDV(out.NDV, out.Rows)
+	out.NDV = clampedNDV(in.NDV, out.Rows)
 	return out
 }
 
@@ -485,20 +485,20 @@ func (e *Estimator) Reduce(in Props, keys []plan.Column, udoName string) Props {
 			factor = u.EstFactor
 		}
 	}
-	out := in.Clone()
+	out := in
 	out.Rows = maxf(1, groups*factor)
-	clampNDV(out.NDV, out.Rows)
+	out.NDV = clampedNDV(in.NDV, out.Rows)
 	return out
 }
 
 // Top returns the properties of a top-N.
 func (e *Estimator) Top(in Props, n int) Props {
-	out := in.Clone()
+	out := in
 	out.Rows = minf(in.Rows, float64(n))
 	if out.Rows < 1 {
 		out.Rows = 1
 	}
-	clampNDV(out.NDV, out.Rows)
+	out.NDV = clampedNDV(in.NDV, out.Rows)
 	return out
 }
 

@@ -38,10 +38,17 @@ type Props struct {
 	// RowBytes is the average output row width in bytes.
 	RowBytes float64
 	// NDV maps column IDs to their number of distinct values.
+	//
+	// NDV maps are shared copy-on-write: a Props value copy aliases the
+	// map, and every derivation that would change entries (clampedNDV)
+	// clones first. Treat a map reachable from a Props as immutable —
+	// mutate only maps you just allocated.
 	NDV map[plan.ColumnID]float64
 }
 
-// Clone returns a deep copy of p.
+// Clone returns a deep copy of p. Most derivations should instead copy the
+// Props value and share NDV (see the copy-on-write contract above); Clone
+// remains for callers that need a privately mutable map.
 func (p Props) Clone() Props {
 	ndv := make(map[plan.ColumnID]float64, len(p.NDV))
 	for k, v := range p.NDV {
@@ -59,6 +66,8 @@ func (p Props) ColNDV(id plan.ColumnID) float64 {
 	return p.Rows
 }
 
+// clampNDV clamps every entry to [1, rows] in place. Only call it on a map
+// the caller just allocated — shared maps go through clampedNDV instead.
 func clampNDV(ndv map[plan.ColumnID]float64, rows float64) {
 	for k, v := range ndv {
 		if v > rows {
@@ -68,6 +77,35 @@ func clampNDV(ndv map[plan.ColumnID]float64, rows float64) {
 			ndv[k] = 1
 		}
 	}
+}
+
+// clampedNDV returns ndv with every entry clamped to [1, rows]. When no
+// entry needs clamping the input map is returned as-is and shared between
+// the old and new Props (the common case on already-clamped chains);
+// otherwise a clamped copy is returned, leaving the input untouched. This is
+// the copy-on-write half of the Props.NDV contract.
+func clampedNDV(ndv map[plan.ColumnID]float64, rows float64) map[plan.ColumnID]float64 {
+	dirty := false
+	for _, v := range ndv {
+		if v > rows || v < 1 {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return ndv
+	}
+	out := make(map[plan.ColumnID]float64, len(ndv))
+	for k, v := range ndv {
+		if v > rows {
+			v = rows
+		}
+		if v < 1 {
+			v = 1
+		}
+		out[k] = v
+	}
+	return out
 }
 
 func maxf(a, b float64) float64 {

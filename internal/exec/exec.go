@@ -106,6 +106,10 @@ func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
 	x.trueProps(p, oracle, props)
 
 	noise := newNoise(x.Seed, tag, day)
+	// scratch is re-seeded per node inside nodeUsage instead of deriving a
+	// fresh ~5KB generator state per node; it is confined to this Run call,
+	// so the shared Executor stays safe for concurrent use.
+	scratch := xrand.New(0)
 
 	var m Metrics
 	longest := make(map[*plan.PhysNode]float64)
@@ -121,7 +125,7 @@ func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
 		for _, c := range n.Children {
 			rec(c)
 		}
-		u := x.nodeUsage(n, props, noise, day)
+		u := x.nodeUsage(n, props, noise, scratch, day)
 		m.CPUSec += u.CPUSeconds
 		m.IOBytes += u.IOBytes
 		dop := n.Dist.DOP
@@ -148,7 +152,7 @@ func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
 				childMax = v
 			}
 		}
-		u := x.nodeUsage(n, props, noise, day)
+		u := x.nodeUsage(n, props, noise, scratch, day)
 		v := childMax + u.LatencySeconds
 		longest[n] = v
 		return v
@@ -175,7 +179,7 @@ func isStageHead(op plan.PhysOp) bool {
 // penalties and execution noise. Deterministic per (executor seed, tag, day,
 // node identity) — it derives noise from the node's position-independent
 // content, so it is called twice per Run with identical results.
-func (x *Executor) nodeUsage(n *plan.PhysNode, props map[*plan.PhysNode]cost.Props, noise *xrand.Source, day int) cost.OpUsage {
+func (x *Executor) nodeUsage(n *plan.PhysNode, props map[*plan.PhysNode]cost.Props, noise, scratch *xrand.Source, day int) cost.OpUsage {
 	p := props[n]
 	var inRows, inBytes float64
 	for _, c := range n.Children {
@@ -233,8 +237,10 @@ func (x *Executor) nodeUsage(n *plan.PhysNode, props map[*plan.PhysNode]cost.Pro
 		u.LatencySeconds *= f
 	}
 
-	// Execution noise, deterministic per node content.
-	r := noise.Derive("node", nodeTag(n))
+	// Execution noise, deterministic per node content. Re-seeding the
+	// per-Run scratch stream draws exactly like a freshly derived one.
+	r := scratch
+	noise.ReseedDerived(r, "node", nodeTag(n))
 	sigma := x.BaseSigma + 0.25/math.Sqrt(1+u.LatencySeconds)
 	mult := r.LogNormal(0, sigma)
 	if r.Bool(x.HotSpotProb) {
@@ -362,7 +368,9 @@ func (x *Executor) trueProps(n *plan.PhysNode, oracle *cost.Estimator, memo map[
 	case plan.PhysReduceImpl:
 		p = oracle.Reduce(childProps[0], n.ReduceKeys, n.Processor)
 	case plan.PhysLocalTop:
-		p = childProps[0].Clone()
+		// Value copy shares the child's NDV map copy-on-write; only Rows
+		// changes below (see the cost.Props contract).
+		p = childProps[0]
 		dop := float64(n.Dist.DOP)
 		if dop < 1 {
 			dop = 1

@@ -7,6 +7,7 @@ import (
 
 	"steerq/internal/cost"
 	"steerq/internal/plan"
+	"steerq/internal/xrand"
 )
 
 // NodeReport compares one operator's planned and actual behaviour.
@@ -37,6 +38,7 @@ func (x *Executor) Explain(p *plan.PhysNode, day int, tag string) Report {
 	props := make(map[*plan.PhysNode]cost.Props)
 	x.trueProps(p, oracle, props)
 	noise := newNoise(x.Seed, tag, day)
+	scratch := xrand.New(0)
 
 	var rep Report
 	seen := make(map[*plan.PhysNode]bool)
@@ -46,7 +48,7 @@ func (x *Executor) Explain(p *plan.PhysNode, day int, tag string) Report {
 			return
 		}
 		seen[n] = true
-		u := x.nodeUsage(n, props, noise, day)
+		u := x.nodeUsage(n, props, noise, scratch, day)
 		nr := NodeReport{
 			Op:       n.Op,
 			Detail:   nodeDetail(n),

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"steerq/internal/bitvec"
+)
+
+// TestHashedInternMatchesLegacy is the memo-equivalence golden test for the
+// hashed interning path: every example job compiled under both the hashed
+// memo index and the retired string-key path (Optimizer.LegacyIntern) must
+// produce identical memos and plans — same group count, same expression
+// count, same cost, same rule signature, same rendered physical plan. The two
+// paths differ only in how structural identity is looked up, so any
+// divergence is an interning bug (a missed duplicate or a false merge).
+func TestHashedInternMatchesLegacy(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	const wl = "A"
+	jobs := r.Day(wl, 0)
+	if len(jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	if len(jobs) > 20 {
+		jobs = jobs[:20]
+	}
+	opt := r.Harness(wl).Opt
+	legacy := *opt
+	legacy.LegacyIntern = true
+	cfg := opt.Rules.DefaultConfig()
+	// A second, sparser configuration exercises rule-dependent memo shapes.
+	sparse := cfg
+	for id := 0; id < bitvec.Width; id += 7 {
+		sparse.Clear(id)
+	}
+
+	for _, j := range jobs {
+		for ci, c := range []bitvec.Vector{cfg, sparse} {
+			got, gotErr := opt.Optimize(j.Root, c)
+			want, wantErr := legacy.Optimize(j.Root, c)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s cfg%d: hashed err %v, legacy err %v", j.ID, ci, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue // both failed identically (e.g. no plan under sparse cfg)
+			}
+			if got.Groups != want.Groups || got.Exprs != want.Exprs {
+				t.Errorf("%s cfg%d: memo size (%d groups, %d exprs) vs legacy (%d, %d)",
+					j.ID, ci, got.Groups, got.Exprs, want.Groups, want.Exprs)
+			}
+			if got.Cost != want.Cost {
+				t.Errorf("%s cfg%d: cost %v vs legacy %v", j.ID, ci, got.Cost, want.Cost)
+			}
+			if !got.Signature.Equal(want.Signature) {
+				t.Errorf("%s cfg%d: signature %v vs legacy %v", j.ID, ci, got.Signature, want.Signature)
+			}
+			if gp, wp := got.Plan.String(), want.Plan.String(); gp != wp {
+				t.Errorf("%s cfg%d: plans diverge\nhashed:\n%s\nlegacy:\n%s", j.ID, ci, gp, wp)
+			}
+		}
+	}
+}

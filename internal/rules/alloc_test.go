@@ -1,0 +1,42 @@
+package rules
+
+import (
+	"testing"
+
+	"steerq/internal/cost"
+	"steerq/internal/scopeql"
+)
+
+// TestCompileAllocationBudget guards the allocation-lean Cascades core: a
+// single default-configuration compile of the smoke job must stay under a
+// generous allocation budget. The memo rework (hashed interning, bitset
+// provenance, slab-allocated expressions and candidates) brought this compile
+// to roughly 365 allocations; the budget leaves ample headroom for legitimate
+// growth (new rules, richer stats) while still catching a reintroduced
+// per-expression or per-candidate allocation, which multiplies by tens of
+// thousands across a discovery-pipeline run.
+func TestCompileAllocationBudget(t *testing.T) {
+	cat := testCatalog()
+	root, err := scopeql.Compile(smokeScript, cat)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opt := NewOptimizer(cost.NewEstimated(cat))
+	cfg := opt.Rules.DefaultConfig()
+	// One warm-up run so lazily initialized shared state is excluded.
+	if _, err := opt.Optimize(root, cfg); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, e := opt.Optimize(root, cfg); e != nil {
+			t.Errorf("optimize: %v", e)
+		}
+	})
+	// ~5x the measured steady state; also holds under -race, whose
+	// instrumentation adds a few allocations of its own.
+	const budget = 2000
+	t.Logf("allocs per compile: %.0f (budget %d)", avg, budget)
+	if avg > budget {
+		t.Fatalf("compile allocates %.0f times per run, over the %d budget — a hot-path allocation has crept back in", avg, budget)
+	}
+}

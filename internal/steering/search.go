@@ -39,14 +39,16 @@ func CandidateConfigs(span bitvec.Vector, rs *cascades.RuleSet, m int, r *xrand.
 	seen := make(map[bitvec.Key]bool, m)
 	out := make([]bitvec.Vector, 0, m)
 	attempts := 0
+	var permBuf []int // reused across attempts; PermInto draws exactly like Sample did
 	for len(out) < m && attempts < 20*m+100 {
 		attempts++
 		cfg := all
 		for _, bits := range catBits {
 			// Sample an independent subset of this category's span rules
-			// to disable.
+			// to disable (a k-prefix of a permutation, as xrand.Sample).
 			k := r.Intn(len(bits) + 1)
-			for _, idx := range r.Sample(len(bits), k) {
+			permBuf = r.PermInto(permBuf, len(bits))
+			for _, idx := range permBuf[:k] {
 				cfg.Clear(bits[idx])
 			}
 		}

@@ -44,6 +44,33 @@ func (s *Source) Derive(path ...string) *Source {
 	return New(h.Sum64())
 }
 
+// ReseedDerived repositions dst onto the stream that s.Derive(path...) would
+// return, reusing dst's internal generator state instead of allocating a new
+// one (a math/rand source is ~5KB). rand.Rand.Seed reinitializes exactly like
+// rand.NewSource with the same seed, so the resulting sequence is identical
+// to a freshly derived stream. dst must not be shared across goroutines.
+func (s *Source) ReseedDerived(dst *Source, path ...string) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(s.seed >> (8 * uint(i))))
+		h *= prime64
+	}
+	for _, p := range path {
+		h ^= 0
+		h *= prime64
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+	}
+	dst.seed = h
+	dst.rng.Seed(int64(h))
+}
+
 // Seed returns the stream's seed, useful for diagnostics.
 func (s *Source) Seed() uint64 { return s.seed }
 
@@ -116,6 +143,27 @@ func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
 
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// PermInto writes a pseudo-random permutation of [0, n) into dst, growing it
+// only when capacity is short, and returns it. It consumes the stream with
+// exactly the same draws as Perm (math/rand's inside-out shuffle), so hot
+// paths can switch to a reusable buffer without perturbing any downstream
+// randomness.
+func (s *Source) PermInto(dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	// The i=0 iteration swaps dst[0] with itself but still consumes one
+	// Intn draw — math/rand.Perm keeps it for stream compatibility, and so
+	// must we.
+	for i := 0; i < n; i++ {
+		j := s.rng.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
+}
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }

@@ -43,6 +43,58 @@ func TestDeriveOrderInsensitive(t *testing.T) {
 	}
 }
 
+func TestReseedDerivedMatchesDerive(t *testing.T) {
+	// ReseedDerived must land dst on exactly the stream Derive returns:
+	// same derived seed, same draw sequence, for every path shape.
+	paths := [][]string{
+		{},
+		{"node"},
+		{"node", "tag17"},
+		{"exec", "wlA/j3", "5"},
+		{"", ""},
+	}
+	root := New(99)
+	scratch := New(0)
+	for _, p := range paths {
+		fresh := root.Derive(p...)
+		root.ReseedDerived(scratch, p...)
+		if scratch.Seed() != fresh.Seed() {
+			t.Fatalf("ReseedDerived(%q) seed %d, Derive seed %d", p, scratch.Seed(), fresh.Seed())
+		}
+		for i := 0; i < 50; i++ {
+			if a, b := scratch.Int63(), fresh.Int63(); a != b {
+				t.Fatalf("ReseedDerived(%q) draw %d = %d, Derive = %d", p, i, a, b)
+			}
+		}
+	}
+	// Reuse of the same scratch for a new path must fully reset the state.
+	root.ReseedDerived(scratch, "other")
+	fresh := root.Derive("other")
+	for i := 0; i < 50; i++ {
+		if a, b := scratch.Int63(), fresh.Int63(); a != b {
+			t.Fatalf("reused scratch draw %d = %d, want %d", i, a, b)
+		}
+	}
+}
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	var buf []int
+	for n := 0; n <= 12; n++ {
+		want := a.Perm(n)
+		buf = b.PermInto(buf, n)
+		if len(buf) != len(want) {
+			t.Fatalf("PermInto(%d) length %d, want %d", n, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("PermInto(%d)[%d] = %d, Perm = %d", n, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
 func TestUniformBounds(t *testing.T) {
 	r := New(1)
 	for i := 0; i < 1000; i++ {
