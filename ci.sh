@@ -17,9 +17,16 @@
 #   8. bench smoke               the pipeline benchmark executed once
 #                                (-benchtime=1x) so a broken or pathologically
 #                                slow hot path fails CI, not the next perf run
-#   9. short fuzz pass           30s total over the scopeql parser/binder
+#   9. coverage floor            go test -cover over the robustness-critical
+#                                packages (faults, par, steering) with an 80%
+#                                per-package floor
+#  10. fault-injection smoke     one pipeline run with a pinned fault seed and
+#                                plan checking on: it must complete with every
+#                                faulted job surviving via retry or fallback
+#  11. short fuzz pass           30s total over the scopeql parser/binder,
+#                                including the parse-print-parse round trip
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 9 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 11 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -43,13 +50,35 @@ echo "== test (race) =="
 STEERQ_CHECK_PLANS=1 go test -race ./...
 
 echo "== parallel pipeline smoke (race, 4 workers) =="
-STEERQ_WORKERS=4 STEERQ_CHECK_PLANS=1 go test -race ./internal/steering/ ./internal/experiments/ -run 'Parallel|Determinism'
+STEERQ_WORKERS=4 STEERQ_CHECK_PLANS=1 go test -race ./internal/steering/ ./internal/experiments/ -run 'Parallel|Determinism|Fault'
 
 echo "== alloc regression (race) =="
 go test -race ./internal/rules/ -run TestCompileAllocationBudget -count=1
 
 echo "== bench smoke (1x) =="
 go test -run '^$' -bench BenchmarkPipelineWorkers1 -benchtime=1x -benchmem .
+
+echo "== coverage floor (faults, par, steering >= 80%) =="
+go test -cover ./internal/faults/ ./internal/par/ ./internal/steering/ > /tmp/steerq-cover.$$
+cat /tmp/steerq-cover.$$
+awk '
+    /coverage:/ {
+        pct = 0
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { pct = $i; sub(/%/, "", pct) }
+        if (pct + 0 < 80) { printf "coverage below 80%% floor: %s\n", $0; bad = 1 }
+    }
+    END { exit bad }
+' /tmp/steerq-cover.$$
+rm -f /tmp/steerq-cover.$$
+
+echo "== fault-injection smoke (pinned seed 1337) =="
+STEERQ_CHECK_PLANS=1 go run ./cmd/steerq pipeline -workload A -job 0/3 -m 60 -k 5 -workers 4 -fault-seed 1337 > /tmp/steerq-faults.$$
+grep -q 'fault injection:' /tmp/steerq-faults.$$ || {
+    echo "fault smoke: no injection stats in output" >&2
+    rm -f /tmp/steerq-faults.$$
+    exit 1
+}
+rm -f /tmp/steerq-faults.$$
 
 if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="

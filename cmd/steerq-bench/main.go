@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"steerq/internal/experiments"
+	"steerq/internal/faults"
 )
 
 // main delegates to realMain so deferred profile flushes run before exit
@@ -40,9 +41,17 @@ func realMain() int {
 		perfOut    = flag.String("perf-out", "BENCH_pipeline.json", "output path for the -perf JSON report")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
+		faultSeed  = flag.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
+		faultRates = flag.String("fault-rates", "", "fault probabilities as site.kind=prob pairs, e.g. compile.fail=0.1,exec.hang=0.05")
 		verbose    = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
+
+	faultPlan, err := faultPlanFromFlags(*faultSeed, *faultRates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+		return 1
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -89,6 +98,7 @@ func realMain() int {
 	cfg.Seed = *seed
 	cfg.Candidates = *m
 	cfg.Workers = *workers
+	cfg.Faults = faultPlan
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
@@ -164,7 +174,26 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "[compile cache %s: %d hits / %d misses (%.0f%% hit rate), %d entries]\n",
 			name, st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
 	}
+	// With fault injection armed, report how the run survived it.
+	if r.Faults() != nil {
+		for _, name := range []string{"A", "B", "C"} {
+			rep := r.RobustnessFor(name)
+			if rep.Analyses == 0 && rep.Record.IsZero() {
+				continue
+			}
+			rep.Render(os.Stderr)
+		}
+	}
 	return 0
+}
+
+// faultPlanFromFlags resolves the fault flags, falling back to the
+// STEERQ_FAULT_SEED / STEERQ_FAULT_RATES environment knobs.
+func faultPlanFromFlags(seed, rates string) (*faults.Plan, error) {
+	if seed == "" && rates == "" {
+		return faults.PlanFromEnv()
+	}
+	return faults.ParsePlan(seed, rates)
 }
 
 func render1(r *experiments.Runner, w io.Writer) error {

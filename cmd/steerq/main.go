@@ -8,7 +8,7 @@
 //	steerq compile  [-workload A] [-seed N] [-script file | -job day/idx] [-show-plan]
 //	steerq span     [-workload A] [-job day/idx]
 //	steerq search   [-workload A] [-job day/idx] [-m 200] [-workers N]
-//	steerq pipeline [-workload A] [-job day/idx] [-m 300] [-k 10] [-workers N]
+//	steerq pipeline [-workload A] [-job day/idx] [-m 300] [-k 10] [-workers N] [-fault-seed N] [-fault-rates site.kind=p,...]
 //	steerq groups   [-workload A] [-day 0] [-top 15]
 //	steerq workload [-workload A] [-day 0]
 //
@@ -28,6 +28,7 @@ import (
 	"steerq/internal/bitvec"
 	"steerq/internal/cascades"
 	"steerq/internal/cost"
+	"steerq/internal/faults"
 	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/scopeql"
@@ -75,15 +76,17 @@ run "steerq <command> -h" for command flags`)
 
 // env bundles the common flags and lazily built objects.
 type env struct {
-	fs      *flag.FlagSet
-	name    *string
-	seed    *uint64
-	scale   *float64
-	jobRef  *string
-	script  *string
-	workers *int
-	wl      *workload.Workload
-	harness *abtest.Harness
+	fs         *flag.FlagSet
+	name       *string
+	seed       *uint64
+	scale      *float64
+	jobRef     *string
+	script     *string
+	workers    *int
+	faultSeed  *string
+	faultRates *string
+	wl         *workload.Workload
+	harness    *abtest.Harness
 }
 
 func newEnv(cmd string) *env {
@@ -94,6 +97,8 @@ func newEnv(cmd string) *env {
 	e.jobRef = e.fs.String("job", "0/0", "job reference day/index")
 	e.script = e.fs.String("script", "", "path to a SCOPE-like script (overrides -job)")
 	e.workers = e.fs.Int("workers", 0, "worker goroutines (0 = $STEERQ_WORKERS or GOMAXPROCS); results are identical at any setting")
+	e.faultSeed = e.fs.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
+	e.faultRates = e.fs.String("fault-rates", "", "fault probabilities as site.kind=prob pairs, e.g. compile.fail=0.1,exec.hang=0.05")
 	return e
 }
 
@@ -113,7 +118,23 @@ func (e *env) build() error {
 	opt := rules.NewOptimizer(cost.NewEstimated(e.wl.Cat))
 	e.harness = abtest.New(e.wl.Cat, opt, *e.seed+1)
 	e.harness.Workers = *e.workers
+	fp, err := e.faultPlan()
+	if err != nil {
+		return err
+	}
+	if fp != nil {
+		e.harness.SetFaults(faults.NewInjector(*fp))
+	}
 	return nil
+}
+
+// faultPlan resolves the fault-injection flags, falling back to the
+// STEERQ_FAULT_SEED / STEERQ_FAULT_RATES environment knobs.
+func (e *env) faultPlan() (*faults.Plan, error) {
+	if *e.faultSeed == "" && *e.faultRates == "" {
+		return faults.PlanFromEnv()
+	}
+	return faults.ParsePlan(*e.faultSeed, *e.faultRates)
 }
 
 // job resolves the -script / -job flags into a compiled job.
@@ -289,6 +310,10 @@ func cmdPipeline(args []string) error {
 			fmt.Printf("  alt%d: compile failed: %v\n", i, t.Err)
 			continue
 		}
+		if t.FellBack {
+			fmt.Printf("  alt%d: fell back to default config after %d attempts\n", i, t.Attempts)
+			continue
+		}
 		pct := a.PercentChange(&a.Trials[i], steering.MetricRuntime)
 		d := steering.Diff(a.Default.Signature, t.Signature)
 		fmt.Printf("  alt%d: runtime %.1fs (%+.1f%%) cost %.2f  -%v +%v\n",
@@ -297,6 +322,13 @@ func cmdPipeline(args []string) error {
 	best := a.BestConfig(steering.MetricRuntime)
 	fmt.Printf("best runtime: %.1fs (%+.1f%% vs default)\n",
 		best.Metrics.RuntimeSec, a.PercentChange(best, steering.MetricRuntime))
+	if rb := a.Robustness; !rb.IsZero() {
+		st := e.harness.Faults.Stats()
+		fmt.Printf("fault injection: %d injected (fail=%d hang=%d corrupt=%d) over %d decisions\n",
+			st.Injected(), st.Fails, st.Hangs, st.Corrupts, st.Decisions)
+		fmt.Printf("  survived via %d retries (%d compile, %d exec), %d timeouts, %d corrupted plans caught, %d fallbacks\n",
+			rb.Retries(), rb.CompileRetries, rb.ExecRetries, rb.Timeouts, rb.Corruptions, rb.Fallbacks)
+	}
 	if rec := steering.Recommend(a, rs); rec != nil {
 		fmt.Printf("recommended plan hint for job group %s...:\n%s",
 			rec.GroupSignature[:16], rec.Hints)

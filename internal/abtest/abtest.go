@@ -6,12 +6,15 @@
 package abtest
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"steerq/internal/bitvec"
 	"steerq/internal/cascades"
 	"steerq/internal/catalog"
 	"steerq/internal/exec"
+	"steerq/internal/faults"
 	"steerq/internal/par"
 	"steerq/internal/plan"
 )
@@ -22,13 +25,24 @@ type Trial struct {
 	Signature bitvec.Vector
 	EstCost   float64
 	Metrics   exec.Metrics
-	// Err is non-nil when the job failed to compile under Config.
+	// Err is non-nil when the job failed to compile under Config, or — with
+	// fault injection active — when compile or execution exhausted its
+	// retry budget.
 	Err error
+	// Attempts is the total number of compile plus execution attempts the
+	// trial consumed (2 for a clean run, more under injected faults).
+	Attempts int
+	// FellBack marks a trial whose steered configuration failed
+	// persistently and was replaced by the default configuration — the
+	// deployment safety net. Set by the discovery pipeline, not here.
+	FellBack bool
 }
 
 // Harness re-executes plans with pinned resources. Its methods are safe for
-// concurrent use: the optimizer and executor keep no cross-call state, and
-// execution noise is derived from (seed, jobTag, day), not shared RNG state.
+// concurrent use: the optimizer and executor keep no cross-call state,
+// execution noise is derived from (seed, jobTag, day), and fault decisions
+// are derived from (fault seed, site, jobTag, attempt) — never from shared
+// RNG state.
 type Harness struct {
 	Cat      *catalog.Catalog
 	Opt      *cascades.Optimizer
@@ -38,6 +52,20 @@ type Harness struct {
 	// STEERQ_WORKERS and then GOMAXPROCS. Trials come back in input order
 	// regardless.
 	Workers int
+
+	// Faults, when non-nil, injects deterministic compile and execution
+	// faults. Assigning it also arms the executor (see SetFaults).
+	Faults *faults.Injector
+
+	// Retry bounds re-attempts of faulted compiles and executions. The
+	// zero value resolves to faults.DefaultPolicy when Faults is set and
+	// to a single attempt otherwise.
+	Retry faults.Policy
+
+	// CompileTimeout and ExecTimeout bound one attempt each; zero means no
+	// deadline. An injected hang waits out the deadline and surfaces as
+	// faults.ErrTimeout.
+	CompileTimeout, ExecTimeout time.Duration
 }
 
 // New builds a harness; the executor is configured with the standard
@@ -48,22 +76,70 @@ func New(cat *catalog.Catalog, opt *cascades.Optimizer, seed uint64) *Harness {
 	return &Harness{Cat: cat, Opt: opt, Executor: ex}
 }
 
+// SetFaults arms fault injection on the harness and its executor together,
+// so compile-site and exec-site decisions share one seed.
+func (h *Harness) SetFaults(in *faults.Injector) {
+	h.Faults = in
+	h.Executor.Faults = in
+}
+
 // RunConfig compiles the job's logical plan under cfg and executes it for the
 // given day. jobTag must uniquely identify the job instance so repeated
 // executions of one plan see consistent cluster noise while different jobs
 // see independent noise.
 func (h *Harness) RunConfig(root *plan.Node, cfg bitvec.Vector, day int, jobTag string) Trial {
-	res, err := h.Opt.Optimize(root, cfg)
+	return h.RunConfigCtx(context.Background(), root, cfg, day, jobTag, nil)
+}
+
+// RunConfigCtx is RunConfig with a context bounding the whole trial,
+// per-attempt timeouts, fault injection and bounded retry. rec, when
+// non-nil, observes retries and timeouts; pass one per pipeline unit and
+// merge serially to keep reports deterministic at any worker count.
+func (h *Harness) RunConfigCtx(ctx context.Context, root *plan.Node, cfg bitvec.Vector, day int, jobTag string, rec *faults.Record) Trial {
+	pol := faults.PolicyOrDefault(h.Retry, h.Faults)
+
+	var res *cascades.Result
+	cAttempts, err := pol.Do(ctx, faults.SiteCompile, h.Faults.RetryRand(faults.SiteCompile, jobTag), rec,
+		func(actx context.Context, attempt int) error {
+			ictx, cancel := par.ItemContext(actx, h.CompileTimeout)
+			defer cancel()
+			r, cerr := h.Faults.CompileAttempt(ictx, jobTag, attempt, func() (*cascades.Result, error) {
+				return h.Opt.Optimize(root, cfg)
+			})
+			if cerr != nil {
+				return cerr
+			}
+			res = r
+			return nil
+		})
 	if err != nil {
-		return Trial{Config: cfg, Err: err}
+		return Trial{Config: cfg, Err: err, Attempts: cAttempts}
 	}
-	m := h.Executor.Run(res.Plan, day, jobTag)
-	return Trial{
+
+	var m exec.Metrics
+	eAttempts, err := pol.Do(ctx, faults.SiteExec, h.Faults.RetryRand(faults.SiteExec, jobTag), rec,
+		func(actx context.Context, attempt int) error {
+			ictx, cancel := par.ItemContext(actx, h.ExecTimeout)
+			defer cancel()
+			mm, xerr := h.Executor.RunCtx(ictx, res.Plan, day, jobTag, attempt)
+			if xerr != nil {
+				return xerr
+			}
+			m = mm
+			return nil
+		})
+	t := Trial{
 		Config:    cfg,
 		Signature: res.Signature,
 		EstCost:   res.Cost,
 		Metrics:   m,
+		Attempts:  cAttempts + eAttempts,
 	}
+	if err != nil {
+		t.Err = err
+		t.Metrics = exec.Metrics{}
+	}
+	return t
 }
 
 // RunConfigs executes the job under every configuration, returning trials in

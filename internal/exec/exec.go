@@ -21,6 +21,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"steerq/internal/cascades"
 	"steerq/internal/catalog"
 	"steerq/internal/cost"
+	"steerq/internal/faults"
 	"steerq/internal/plan"
 	"steerq/internal/xrand"
 )
@@ -74,6 +76,12 @@ type Executor struct {
 	// STEERQ_CHECK_PLANS environment variable is non-empty; harnesses may
 	// also set it directly.
 	CheckPlans bool
+
+	// Faults, when non-nil, injects deterministic execution faults into
+	// RunCtx (Run itself stays fault-free: it models the cluster, not its
+	// failure modes). Shared with the compile-side injector so one seed
+	// governs the whole pipeline.
+	Faults *faults.Injector
 }
 
 // New returns an executor with default rates for the given catalog.
@@ -159,6 +167,27 @@ func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
 	}
 	m.RuntimeSec = walk(p)
 	return m
+}
+
+// RunCtx is Run behind the fault-injection and timeout layer: the injector
+// (if any) may fail the attempt outright or hang it until ctx's deadline,
+// and a context that is already done surfaces as a timeout instead of an
+// execution. A clean attempt returns exactly Run's metrics — noise derives
+// from (seed, tag, day), never from the attempt number, so a retried
+// execution of the same plan reproduces the same metrics bit-for-bit.
+func (x *Executor) RunCtx(ctx context.Context, p *plan.PhysNode, day int, tag string, attempt int) (Metrics, error) {
+	switch x.Faults.Decide(faults.SiteExec, tag, attempt) {
+	case faults.KindFail:
+		return Metrics{}, faults.Injectedf(faults.SiteExec, tag, attempt)
+	case faults.KindHang, faults.KindCorrupt:
+		// Executions have no result to corrupt; a corrupt draw (site probs
+		// normally keep it at zero) degrades to a hang.
+		return Metrics{}, faults.Hang(ctx, faults.SiteExec, tag, attempt)
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, fmt.Errorf("%w: exec %s attempt %d: %v", faults.ErrTimeout, tag, attempt, err)
+	}
+	return x.Run(p, day, tag), nil
 }
 
 // newNoise builds the deterministic noise stream of one execution.

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"steerq/internal/bitvec"
 	"steerq/internal/cost"
 	"steerq/internal/exec"
+	"steerq/internal/faults"
 	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/steering"
@@ -58,6 +60,13 @@ type Config struct {
 	// running it. The STEERQ_CHECK_PLANS environment variable also enables
 	// it, via exec.New.
 	CheckPlans bool
+	// Faults, when non-nil, arms deterministic fault injection on every
+	// harness the runner builds: compiles and executions fail, hang or
+	// return corrupted plans at the plan's probabilities, and the pipeline
+	// retries, times out and falls back per the robustness machinery. The
+	// same plan (same seed) reproduces the same faults at any Workers
+	// value.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -85,7 +94,11 @@ type Runner struct {
 	days      map[string]map[int][]*workload.Job
 	defaults  map[string]map[string]abtest.Trial // per workload: jobID -> default trial
 	analyses  map[string]map[string]*steering.Analysis
+	failed    map[string]map[string]bool        // per workload: jobID -> analysis gave up
 	caches    map[string]*steering.CompileCache // per workload, shared by all its pipelines
+	robust    map[string]*faults.Record         // per workload: fault-handling tallies
+	injector  *faults.Injector                  // shared by every harness; nil when Cfg.Faults is nil
+	armed     bool                              // injector has been built (it may legitimately be nil)
 }
 
 // NewRunner builds a Runner for the configuration.
@@ -100,7 +113,9 @@ func NewRunner(cfg Config) *Runner {
 		days:      make(map[string]map[int][]*workload.Job),
 		defaults:  make(map[string]map[string]abtest.Trial),
 		analyses:  make(map[string]map[string]*steering.Analysis),
+		failed:    make(map[string]map[string]bool),
 		caches:    make(map[string]*steering.CompileCache),
+		robust:    make(map[string]*faults.Record),
 	}
 }
 
@@ -145,8 +160,36 @@ func (r *Runner) Harness(name string) *abtest.Harness {
 	if r.Cfg.CheckPlans {
 		h.Executor.CheckPlans = true
 	}
+	if in := r.Faults(); in != nil {
+		h.SetFaults(in)
+	}
 	r.harnesses[name] = h
 	return h
+}
+
+// Faults returns the runner's shared fault injector, building it on first
+// use from Cfg.Faults; nil when injection is off. One injector serves every
+// workload so its decision counters cover the whole run.
+func (r *Runner) Faults() *faults.Injector {
+	if !r.armed {
+		if r.Cfg.Faults != nil {
+			r.injector = faults.NewInjector(*r.Cfg.Faults)
+		}
+		r.armed = true
+	}
+	return r.injector
+}
+
+// Robustness returns the workload's fault-handling tally, accumulated
+// serially by DefaultTrial and AnalyzedJobs. It is all zeros when injection
+// is off.
+func (r *Runner) Robustness(name string) *faults.Record {
+	rec, ok := r.robust[name]
+	if !ok {
+		rec = &faults.Record{}
+		r.robust[name] = rec
+	}
+	return rec
 }
 
 // Executor exposes the harness executor (for distribution experiments).
@@ -175,7 +218,7 @@ func (r *Runner) DefaultTrial(name string, j *workload.Job) abtest.Trial {
 		return t
 	}
 	h := r.Harness(name)
-	t := h.RunConfig(j.Root, h.Opt.Rules.DefaultConfig(), j.Day, j.ID+"/default")
+	t := h.RunConfigCtx(context.Background(), j.Root, h.Opt.Rules.DefaultConfig(), j.Day, j.ID+"/default", r.Robustness(name))
 	r.defaults[name][j.ID] = t
 	return t
 }
@@ -247,22 +290,38 @@ func (r *Runner) AnalyzedJobs(name string, day int) []*steering.Analysis {
 	// Fan the uncached jobs out across workers; the analysis cache is only
 	// read during the fan-out and only written in the serial merge below, so
 	// results, cache contents and log order all match a Workers=1 run.
+	if r.failed[name] == nil {
+		r.failed[name] = make(map[string]bool)
+	}
 	type slot struct {
-		a      *steering.Analysis
-		err    error
-		cached bool
+		a       *steering.Analysis
+		err     error
+		cached  bool
+		skipped bool
 	}
 	slots, _ := par.Map(r.Cfg.Workers, jobs, func(k int, j *workload.Job) (slot, error) {
 		if a, ok := r.analyses[name][j.ID]; ok {
 			return slot{a: a, cached: true}, nil
 		}
-		a, err := p.Analyze(j)
+		if r.failed[name][j.ID] {
+			return slot{skipped: true}, nil
+		}
+		a, err := p.AnalyzeCtx(context.Background(), j)
 		return slot{a: a, err: err}, nil
 	})
+	rec := r.Robustness(name)
 	out := make([]*steering.Analysis, 0, len(jobs))
 	for k, j := range jobs {
 		s := slots[k]
+		if s.skipped {
+			continue
+		}
 		if s.err != nil {
+			// The job's analysis exhausted every retry even for the default
+			// configuration; there is nothing to fall back to, so the
+			// pipeline gives the job up (already logged and counted once).
+			r.failed[name][j.ID] = true
+			rec.GiveUps++
 			r.logf("analyze %s: %v", j.ID, s.err)
 			continue
 		}
@@ -271,8 +330,14 @@ func (r *Runner) AnalyzedJobs(name string, day int) []*steering.Analysis {
 			continue
 		}
 		r.analyses[name][j.ID] = s.a
+		rec.Add(s.a.Robustness)
 		out = append(out, s.a)
-		r.logf("analyzed %s: span=%d candidates=%d", j.ID, s.a.Span.Count(), len(s.a.Candidates))
+		if rb := s.a.Robustness; rb.IsZero() {
+			r.logf("analyzed %s: span=%d candidates=%d", j.ID, s.a.Span.Count(), len(s.a.Candidates))
+		} else {
+			r.logf("analyzed %s: span=%d candidates=%d retries=%d timeouts=%d corruptions=%d fallbacks=%d",
+				j.ID, s.a.Span.Count(), len(s.a.Candidates), rb.Retries(), rb.Timeouts, rb.Corruptions, rb.Fallbacks)
+		}
 	}
 	return out
 }

@@ -14,11 +14,13 @@
 package par
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EnvWorkers is the environment variable consulted when no explicit worker
@@ -107,4 +109,47 @@ func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]
 		return err
 	})
 	return out, err
+}
+
+// ForEachCtx is ForEach with a context: f receives ctx so long-running items
+// can honor deadlines, and once ctx is done no further indices start — each
+// unstarted index records ctx.Err() as its error instead of running. Indices
+// already in flight run to completion (they see the cancellation through
+// their own ctx), so the pool never abandons a goroutine mid-item.
+//
+// The determinism contract weakens only on the error path: with a live
+// context the results are bit-for-bit identical to ForEach; after a
+// cancellation the set of indices that ran depends on timing, but the
+// returned error is still the lowest-index failure, and a context canceled
+// before the call starts skips every index deterministically.
+func ForEachCtx(ctx context.Context, workers, n int, f func(ctx context.Context, i int) error) error {
+	return ForEach(workers, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return f(ctx, i)
+	})
+}
+
+// MapCtx is Map with a context, with the same slotting and lowest-index
+// error semantics; see ForEachCtx for the cancellation contract.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEachCtx(ctx, workers, len(items), func(ctx context.Context, i int) error {
+		r, err := f(ctx, i, items[i])
+		out[i] = r
+		return err
+	})
+	return out, err
+}
+
+// ItemContext bounds one pool item (one compile, one execution) by a
+// per-item timeout: d > 0 derives a deadline context, d <= 0 returns ctx
+// unchanged with a no-op cancel. Callers always `defer cancel()`, so the
+// zero-timeout path must not allocate a cancelable context.
+func ItemContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }

@@ -9,6 +9,34 @@ package plan
 // occurrences' columns indistinguishable inside a join, so later references
 // get fresh column identities while keeping the identical structure (and
 // therefore the identical template hash contribution).
+
+// ClonePhys deep-copies a physical DAG's node structure, preserving internal
+// sharing (a node consumed twice is cloned once). Payload slices and
+// expressions are shared with the original — callers that mutate a clone may
+// overwrite a node's scalar fields or re-slice its slices, but must not
+// write through the shared backing arrays. The fault injector uses this to
+// corrupt a copy of a compiled plan without touching the optimizer's result.
+func ClonePhys(n *PhysNode) *PhysNode {
+	cloned := make(map[*PhysNode]*PhysNode)
+	var rec func(*PhysNode) *PhysNode
+	rec = func(m *PhysNode) *PhysNode {
+		if m == nil {
+			return nil
+		}
+		if c, ok := cloned[m]; ok {
+			return c
+		}
+		cp := *m
+		cloned[m] = &cp
+		cp.Children = make([]*PhysNode, len(m.Children))
+		for i, ch := range m.Children {
+			cp.Children[i] = rec(ch)
+		}
+		return &cp
+	}
+	return rec(n)
+}
+
 func CloneWithFreshIDs(n *Node, nextID func() ColumnID) *Node {
 	remap := make(map[ColumnID]ColumnID)
 	cloned := make(map[*Node]*Node)

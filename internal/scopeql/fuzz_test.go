@@ -19,6 +19,12 @@ var fuzzSeeds = []string{
 	`u = a UNION ALL b; OUTPUT u TO "o";`,
 	`r = REDUCE y ON k USING Cook; OUTPUT r TO "o";`,
 	`p = PROCESS y USING Cook; OUTPUT p TO "o";`,
+	// Printer round-trip corners: empty stream path (found by fuzzing),
+	// nested unions, and minimal-parenthesization pressure.
+	`x = SELECT a FROM ""; OUTPUT x TO "o";`,
+	`u = (a UNION ALL b) UNION ALL c; OUTPUT u TO "o";`,
+	`x = SELECT a FROM "t" WHERE (a OR b) AND (c == d) == e; OUTPUT x TO "o";`,
+	`x = SELECT a - (b - c) AS d, (a + b) * 2 AS e FROM "t"; OUTPUT x TO "o";`,
 	// Malformed inputs that must produce errors, not panics.
 	`x = SELECT a FROM "t"`,
 	`x = SELECT TOP 0 a FROM "t"; OUTPUT x TO "o";`,
@@ -27,8 +33,10 @@ var fuzzSeeds = []string{
 	"x = SELECT \x00 FROM \"t\";",
 }
 
-// FuzzParse asserts the parser never panics: any input either yields a
-// script or an error, and a parsed script is internally non-nil.
+// FuzzParse asserts the parser never panics — any input either yields a
+// script or an error — and that every parsed script survives the printer
+// round trip: Print output reparses, and printing the reparse reproduces it
+// byte for byte (Print∘Parse is a fixed point on canonical source).
 func FuzzParse(f *testing.F) {
 	for _, seed := range fuzzSeeds {
 		f.Add(seed)
@@ -48,6 +56,14 @@ func FuzzParse(f *testing.F) {
 			if st == nil {
 				t.Fatalf("statement %d is nil", i)
 			}
+		}
+		p1 := Print(s)
+		s2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("printed script does not reparse: %v\ninput:\n%s\nprinted:\n%s", err, src, p1)
+		}
+		if p2 := Print(s2); p2 != p1 {
+			t.Fatalf("print is not a fixed point:\nfirst:\n%s\nsecond:\n%s", p1, p2)
 		}
 	})
 }

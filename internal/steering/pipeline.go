@@ -1,6 +1,7 @@
 package steering
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"steerq/internal/abtest"
 	"steerq/internal/bitvec"
 	"steerq/internal/cascades"
+	"steerq/internal/faults"
 	"steerq/internal/par"
 	"steerq/internal/workload"
 	"steerq/internal/xrand"
@@ -38,13 +40,23 @@ type Analysis struct {
 	// by estimated cost, deduplicated by signature).
 	Selected []Candidate
 
-	// Trials are the executions of Selected, aligned by index.
+	// Trials are the executions of Selected, aligned by index. Under fault
+	// injection a trial whose configuration failed persistently is replaced
+	// by a copy of Default with FellBack set.
 	Trials []abtest.Trial
+
+	// Robustness tallies the injected-fault handling this analysis needed:
+	// retries, timeouts, corrupted compiles and fallbacks. Always zero when
+	// injection is off. Accumulated serially in candidate-index order, so it
+	// is identical at any worker count.
+	Robustness faults.Record
 }
 
 // Pipeline is the offline discovery pipeline of §5–6: span computation,
 // randomized candidate search, recompilation, heuristic selection and
-// selective A/B execution.
+// selective A/B execution. Fault tolerance — injection, retry policy and
+// per-attempt timeouts — is configured on the Harness and honored at every
+// compile and execution site here.
 type Pipeline struct {
 	Harness *abtest.Harness
 	Rand    *xrand.Source
@@ -60,12 +72,16 @@ type Pipeline struct {
 	// Workers bounds the goroutines recompiling candidates. Zero resolves
 	// through STEERQ_WORKERS and then GOMAXPROCS (see internal/par); any
 	// value yields bit-for-bit identical analyses — results are slotted by
-	// candidate index and each job draws from its own derived RNG stream.
+	// candidate index, each job draws from its own derived RNG stream, and
+	// fault decisions are keyed by content, not schedule.
 	Workers int
 
 	// Cache, when non-nil, memoizes {cost, signature} per (job fingerprint,
 	// config) so recurring jobs skip identical recompilations. Safe to share
-	// across goroutines and across pipelines of one workload.
+	// across goroutines and across pipelines of one workload. Faulted
+	// compilations — injected failures, timeouts, corrupted plans — are
+	// never cached; only validated successes and genuine no-plan outcomes
+	// are.
 	Cache *CompileCache
 }
 
@@ -79,11 +95,17 @@ func NewPipeline(h *abtest.Harness, r *xrand.Source) *Pipeline {
 // candidate generation, recompilation, selection of the cheapest plans and
 // their execution.
 func (p *Pipeline) Analyze(job *workload.Job) (*Analysis, error) {
-	a, err := p.Recompile(job)
+	return p.AnalyzeCtx(context.Background(), job)
+}
+
+// AnalyzeCtx is Analyze bounded by a context; cancellation surfaces as the
+// returned error once in-flight compile attempts notice it.
+func (p *Pipeline) AnalyzeCtx(ctx context.Context, job *workload.Job) (*Analysis, error) {
+	a, err := p.RecompileCtx(ctx, job)
 	if err != nil {
 		return nil, err
 	}
-	p.Execute(a)
+	p.ExecuteCtx(ctx, a)
 	return a, nil
 }
 
@@ -91,13 +113,25 @@ func (p *Pipeline) Analyze(job *workload.Job) (*Analysis, error) {
 // executing the alternatives: the default trial, the span, and the M
 // recompiled candidates. Figure 4 is produced from this stage alone.
 func (p *Pipeline) Recompile(job *workload.Job) (*Analysis, error) {
+	return p.RecompileCtx(context.Background(), job)
+}
+
+// RecompileCtx is Recompile bounded by a context.
+func (p *Pipeline) RecompileCtx(ctx context.Context, job *workload.Job) (*Analysis, error) {
 	h := p.Harness
-	def := h.RunConfig(job.Root, h.Opt.Rules.DefaultConfig(), job.Day, job.ID+"/default")
+	a := &Analysis{Job: job}
+	def := h.RunConfigCtx(ctx, job.Root, h.Opt.Rules.DefaultConfig(), job.Day, job.ID+"/default", &a.Robustness)
 	if def.Err != nil {
 		return nil, fmt.Errorf("steering: default compile of %s: %w", job.ID, def.Err)
 	}
+	a.Default = def
+	// Span probing is serial, so a plain counter gives each probe a stable
+	// tag independent of worker count.
+	probe := 0
 	span, err := JobSpanFunc(h.Opt.Rules, func(cfg bitvec.Vector) (bitvec.Vector, error) {
-		v, cerr := p.compile(job, cfg)
+		tag := fmt.Sprintf("%s/span%d", job.ID, probe)
+		probe++
+		v, cerr := p.compile(ctx, job, cfg, tag, &a.Robustness)
 		if cerr != nil {
 			return bitvec.Vector{}, cerr
 		}
@@ -106,35 +140,42 @@ func (p *Pipeline) Recompile(job *workload.Job) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("steering: span of %s: %w", job.ID, err)
 	}
+	a.Span = span
 	// Config generation stays serial on the job's derived stream; only the
-	// pure Optimize calls fan out below.
+	// pure compile calls fan out below.
 	r := p.Rand.Derive("job", job.ID)
 	cfgs := CandidateConfigs(span, h.Opt.Rules, p.MaxCandidates, r)
-	a := &Analysis{Job: job, Default: def, Span: span}
 	type slot struct {
-		c  Candidate
-		ok bool
+		c   Candidate
+		ok  bool
+		rec faults.Record
 	}
 	slots, _ := par.Map(p.Workers, cfgs, func(i int, cfg bitvec.Vector) (slot, error) {
-		v, cerr := p.compile(job, cfg)
+		var s slot
+		tag := fmt.Sprintf("%s/cand%d", job.ID, i)
+		v, cerr := p.compile(ctx, job, cfg, tag, &s.rec)
 		if cerr != nil {
-			return slot{}, nil // configurations that do not compile are expected
+			return s, nil // configurations that do not compile are expected
 		}
-		return slot{c: Candidate{Config: cfg, EstCost: v.Cost, Signature: v.Signature}, ok: true}, nil
+		s.c = Candidate{Config: cfg, EstCost: v.Cost, Signature: v.Signature}
+		s.ok = true
+		return s, nil
 	})
 	a.Candidates = make([]Candidate, 0, len(slots))
 	for _, s := range slots {
 		if s.ok {
 			a.Candidates = append(a.Candidates, s.c)
 		}
+		a.Robustness.Add(s.rec)
 	}
 	return a, nil
 }
 
-// compile optimizes job under cfg through the cache. Failed compilations
-// surface as cascades.ErrNoPlan exactly as from Optimize, whether fresh or
-// cached.
-func (p *Pipeline) compile(job *workload.Job, cfg bitvec.Vector) (CompileValue, error) {
+// compile optimizes job under cfg through the cache, retrying injected
+// faults per the harness policy. Failed compilations surface as
+// cascades.ErrNoPlan exactly as from Optimize, whether fresh or cached;
+// fault-injected errors surface wrapped and are never cached.
+func (p *Pipeline) compile(ctx context.Context, job *workload.Job, cfg bitvec.Vector, tag string, rec *faults.Record) (CompileValue, error) {
 	key, cacheable := jobKey(job, cfg)
 	cacheable = cacheable && p.Cache != nil
 	if cacheable {
@@ -145,8 +186,26 @@ func (p *Pipeline) compile(job *workload.Job, cfg bitvec.Vector) (CompileValue, 
 			return v, nil
 		}
 	}
-	res, err := p.Harness.Opt.Optimize(job.Root, cfg)
+	h := p.Harness
+	pol := faults.PolicyOrDefault(h.Retry, h.Faults)
+	var res *cascades.Result
+	_, err := pol.Do(ctx, faults.SiteCompile, h.Faults.RetryRand(faults.SiteCompile, tag), rec,
+		func(actx context.Context, attempt int) error {
+			ictx, cancel := par.ItemContext(actx, h.CompileTimeout)
+			defer cancel()
+			r, cerr := h.Faults.CompileAttempt(ictx, tag, attempt, func() (*cascades.Result, error) {
+				return h.Opt.Optimize(job.Root, cfg)
+			})
+			if cerr != nil {
+				return cerr
+			}
+			res = r
+			return nil
+		})
 	if err != nil {
+		// Only the optimizer's own no-plan verdict is negative-cached;
+		// injected failures, timeouts and corruption must not poison the
+		// cache for later (possibly fault-free) lookups.
 		if cacheable && errors.Is(err, cascades.ErrNoPlan) {
 			p.Cache.Put(key, CompileValue{OK: false})
 		}
@@ -163,6 +222,15 @@ func (p *Pipeline) compile(job *workload.Job, cfg bitvec.Vector) (CompileValue, 
 // signature, so the executed set spans distinct plans) and runs them through
 // the A/B harness.
 func (p *Pipeline) Execute(a *Analysis) {
+	p.ExecuteCtx(context.Background(), a)
+}
+
+// ExecuteCtx is Execute bounded by a context. Under fault injection, a
+// selected trial that still fails after the retry budget degrades gracefully:
+// the pipeline falls back to the already-executed default trial (marked
+// FellBack) and counts the fallback in a.Robustness — the steered job runs,
+// just without its steering.
+func (p *Pipeline) ExecuteCtx(ctx context.Context, a *Analysis) {
 	cands := append([]Candidate(nil), a.Candidates...)
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].EstCost < cands[j].EstCost })
 	seen := map[bitvec.Key]bool{a.Default.Signature.Key(): true}
@@ -177,8 +245,16 @@ func (p *Pipeline) Execute(a *Analysis) {
 		seen[k] = true
 		a.Selected = append(a.Selected, c)
 	}
+	h := p.Harness
 	for i, c := range a.Selected {
-		t := p.Harness.RunConfig(a.Job.Root, c.Config, a.Job.Day, fmt.Sprintf("%s/alt%d", a.Job.ID, i))
+		t := h.RunConfigCtx(ctx, a.Job.Root, c.Config, a.Job.Day, fmt.Sprintf("%s/alt%d", a.Job.ID, i), &a.Robustness)
+		if t.Err != nil && h.Faults.Active() {
+			fb := a.Default
+			fb.Attempts = t.Attempts
+			fb.FellBack = true
+			a.Robustness.Fallbacks++
+			t = fb
+		}
 		a.Trials = append(a.Trials, t)
 	}
 }
@@ -209,12 +285,13 @@ func (m Metric) value(t *abtest.Trial) float64 {
 }
 
 // BestAlternative returns the executed trial with the lowest value of the
-// metric, or nil when nothing was executed.
+// metric, or nil when nothing was executed. Fallback trials are skipped:
+// they duplicate the default and must not masquerade as an improvement.
 func (a *Analysis) BestAlternative(m Metric) *abtest.Trial {
 	var best *abtest.Trial
 	for i := range a.Trials {
 		t := &a.Trials[i]
-		if t.Err != nil {
+		if t.Err != nil || t.FellBack {
 			continue
 		}
 		if best == nil || m.value(t) < m.value(best) {
