@@ -17,16 +17,22 @@
 #   8. bench smoke               the pipeline benchmark executed once
 #                                (-benchtime=1x) so a broken or pathologically
 #                                slow hot path fails CI, not the next perf run
-#   9. coverage floor            go test -cover over the robustness-critical
-#                                packages (faults, par, steering) with an 80%
+#   9. coverage floor            go test -cover over the robustness- and
+#                                observability-critical packages (faults, par,
+#                                steering, obs, learning, nn) with an 80%
 #                                per-package floor
 #  10. fault-injection smoke     one pipeline run with a pinned fault seed and
 #                                plan checking on: it must complete with every
 #                                faulted job surviving via retry or fallback
-#  11. short fuzz pass           30s total over the scopeql parser/binder,
+#  11. metrics golden smoke      the same pinned-seed pipeline run under the
+#                                frozen virtual clock (STEERQ_VCLOCK) with
+#                                -metrics-out, diffed byte-for-byte against the
+#                                committed snapshot golden — metric drift and
+#                                nondeterminism both fail here
+#  12. short fuzz pass           30s total over the scopeql parser/binder,
 #                                including the parse-print-parse round trip
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 11 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 12 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -58,8 +64,9 @@ go test -race ./internal/rules/ -run TestCompileAllocationBudget -count=1
 echo "== bench smoke (1x) =="
 go test -run '^$' -bench BenchmarkPipelineWorkers1 -benchtime=1x -benchmem .
 
-echo "== coverage floor (faults, par, steering >= 80%) =="
-go test -cover ./internal/faults/ ./internal/par/ ./internal/steering/ > /tmp/steerq-cover.$$
+echo "== coverage floor (faults, par, steering, obs, learning, nn >= 80%) =="
+go test -cover ./internal/faults/ ./internal/par/ ./internal/steering/ \
+    ./internal/obs/ ./internal/learning/ ./internal/nn/ > /tmp/steerq-cover.$$
 cat /tmp/steerq-cover.$$
 awk '
     /coverage:/ {
@@ -79,6 +86,18 @@ grep -q 'fault injection:' /tmp/steerq-faults.$$ || {
     exit 1
 }
 rm -f /tmp/steerq-faults.$$
+
+echo "== metrics golden smoke (frozen clock, pinned seed 1337) =="
+STEERQ_VCLOCK=1 STEERQ_CHECK_PLANS=1 go run ./cmd/steerq pipeline \
+    -workload A -job 0/3 -m 60 -k 5 -workers 4 -fault-seed 1337 \
+    -metrics-out /tmp/steerq-metrics.$$.json > /dev/null
+diff -u cmd/steerq/testdata/ci_metrics.golden.json /tmp/steerq-metrics.$$.json || {
+    echo "metrics smoke: snapshot drifted from committed golden" >&2
+    echo "(if the change is intentional, regenerate with the command above)" >&2
+    rm -f /tmp/steerq-metrics.$$.json
+    exit 1
+}
+rm -f /tmp/steerq-metrics.$$.json
 
 if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="

@@ -43,6 +43,8 @@ func realMain() int {
 		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 		faultSeed  = flag.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
 		faultRates = flag.String("fault-rates", "", "fault probabilities as site.kind=prob pairs, e.g. compile.fail=0.1,exec.hang=0.05")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot on exit (.prom/.txt = text exposition, else JSON)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /metrics on this address while the run is live")
 		verbose    = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -86,7 +88,7 @@ func realMain() int {
 	}
 
 	if *perf {
-		if err := runPerf(*scale, *seed, *m, *workers, *perfOut, *verbose); err != nil {
+		if err := runPerf(*scale, *seed, *m, *workers, *perfOut, *metricsOut, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
 			return 1
 		}
@@ -104,6 +106,16 @@ func realMain() int {
 	}
 	r := experiments.NewRunner(cfg)
 	out := os.Stdout
+
+	if *debugAddr != "" {
+		srv, err := r.Obs().ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "steerq-bench: debug endpoint on http://%s (/debug/vars, /metrics)\n", srv.Addr())
+	}
 
 	names := strings.Split(*expName, ",")
 	want := func(n string) bool {
@@ -182,6 +194,19 @@ func realMain() int {
 				continue
 			}
 			rep.Render(os.Stderr)
+		}
+	}
+	// Observability rollup for everything that ran above: per-stage spans,
+	// compile/exec counters, memo-size histograms.
+	snap := r.Obs().Snapshot()
+	if err := snap.Report(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+		return 1
+	}
+	if *metricsOut != "" {
+		if err := snap.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+			return 1
 		}
 	}
 	return 0

@@ -10,6 +10,7 @@ import (
 
 	"steerq/internal/bitvec"
 	"steerq/internal/experiments"
+	"steerq/internal/obs"
 	"steerq/internal/steering"
 	"steerq/internal/xrand"
 )
@@ -70,17 +71,18 @@ type perfCache struct {
 // perfReport is the full machine-readable benchmark record. Future PRs diff
 // these files to track the perf trajectory.
 type perfReport struct {
-	GeneratedUnix int64        `json:"generated_unix"`
-	NumCPU        int          `json:"num_cpu"`
-	Workload      string       `json:"workload"`
-	Jobs          int          `json:"jobs"`
-	Candidates    int          `json:"candidates"`
-	Serial        perfConfig   `json:"serial"`
-	Parallel      perfConfig   `json:"parallel"`
-	Speedup       float64      `json:"speedup,omitempty"`
-	Compile       perfCompile  `json:"compile"`
-	Baseline      perfBaseline `json:"baseline"`
-	Cache         perfCache    `json:"cache"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	NumCPU        int           `json:"num_cpu"`
+	Workload      string        `json:"workload"`
+	Jobs          int           `json:"jobs"`
+	Candidates    int           `json:"candidates"`
+	Serial        perfConfig    `json:"serial"`
+	Parallel      perfConfig    `json:"parallel"`
+	Speedup       float64       `json:"speedup,omitempty"`
+	Compile       perfCompile   `json:"compile"`
+	Baseline      perfBaseline  `json:"baseline"`
+	Cache         perfCache     `json:"cache"`
+	Obs           *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // minParallelProcs is the floor for the parallel leg: measuring "parallel"
@@ -93,7 +95,7 @@ const minParallelProcs = 4
 // comparison is honest), plus a single-compile microbenchmark and
 // compile-cache hit rates over repeated passes, and writes the result as JSON
 // to outPath.
-func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose bool) error {
+func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut string, verbose bool) error {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -225,6 +227,10 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 	baseline.AllocReductionPct = reductionPct(baseline.AllocsPerOp, serial.AllocsPerOp)
 	baseline.BytesReductionPct = reductionPct(baseline.BytesPerOp, serial.BytesPerOp)
 
+	// Fold the run's observability snapshot into the report: compile counters
+	// and memo-size histograms accumulated across every measured iteration.
+	snap := r.Obs().Snapshot()
+
 	rep := perfReport{
 		GeneratedUnix: time.Now().Unix(),
 		NumCPU:        runtime.NumCPU(),
@@ -241,6 +247,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 			Entries: st.Entries,
 			HitRate: st.HitRate(),
 		},
+		Obs: &snap,
 	}
 	if !parallel.Skipped && parallel.NsPerOp > 0 {
 		rep.Speedup = float64(serial.NsPerOp) / float64(parallel.NsPerOp)
@@ -269,6 +276,11 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath string, verbose
 	fmt.Printf("  cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
 	fmt.Printf("  wrote %s\n", outPath)
+	if metricsOut != "" {
+		if err := snap.WriteFile(metricsOut); err != nil {
+			return err
+		}
+	}
 	if verbose {
 		fmt.Fprintf(os.Stderr, "%s", data)
 	}

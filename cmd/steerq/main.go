@@ -29,6 +29,7 @@ import (
 	"steerq/internal/cascades"
 	"steerq/internal/cost"
 	"steerq/internal/faults"
+	"steerq/internal/obs"
 	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/scopeql"
@@ -85,8 +86,12 @@ type env struct {
 	workers    *int
 	faultSeed  *string
 	faultRates *string
+	metricsOut *string
+	debugAddr  *string
 	wl         *workload.Workload
 	harness    *abtest.Harness
+	reg        *obs.Registry
+	debug      *obs.DebugServer
 }
 
 func newEnv(cmd string) *env {
@@ -99,6 +104,8 @@ func newEnv(cmd string) *env {
 	e.workers = e.fs.Int("workers", 0, "worker goroutines (0 = $STEERQ_WORKERS or GOMAXPROCS); results are identical at any setting")
 	e.faultSeed = e.fs.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
 	e.faultRates = e.fs.String("fault-rates", "", "fault probabilities as site.kind=prob pairs, e.g. compile.fail=0.1,exec.hang=0.05")
+	e.metricsOut = e.fs.String("metrics-out", "", "write a metrics snapshot on exit (.prom/.txt = text exposition, else JSON)")
+	e.debugAddr = e.fs.String("debug-addr", "", "serve /debug/vars and /metrics on this address while the command runs")
 	return e
 }
 
@@ -115,17 +122,45 @@ func (e *env) build() error {
 		return fmt.Errorf("unknown workload %q", *e.name)
 	}
 	e.wl = workload.Generate(p)
+	e.reg = obs.NewWithClock(obs.ClockFromEnv())
 	opt := rules.NewOptimizer(cost.NewEstimated(e.wl.Cat))
+	opt.SetObs(e.reg)
 	e.harness = abtest.New(e.wl.Cat, opt, *e.seed+1)
+	e.harness.SetObs(e.reg)
 	e.harness.Workers = *e.workers
 	fp, err := e.faultPlan()
 	if err != nil {
 		return err
 	}
 	if fp != nil {
-		e.harness.SetFaults(faults.NewInjector(*fp))
+		in := faults.NewInjector(*fp)
+		e.harness.SetFaults(in)
+		in.Publish(e.reg)
+	}
+	if *e.debugAddr != "" {
+		srv, err := e.reg.ServeDebug(*e.debugAddr)
+		if err != nil {
+			return err
+		}
+		e.debug = srv
+		fmt.Fprintf(os.Stderr, "steerq: debug endpoint on http://%s (/debug/vars, /metrics)\n", srv.Addr())
 	}
 	return nil
+}
+
+// finish flushes observability outputs: it writes the -metrics-out snapshot
+// and shuts down the -debug-addr server. Commands call it on their success
+// path so a failed run never leaves a partial snapshot behind.
+func (e *env) finish() error {
+	if e.debug != nil {
+		if err := e.debug.Close(); err != nil {
+			return err
+		}
+	}
+	if *e.metricsOut == "" {
+		return nil
+	}
+	return e.reg.Snapshot().WriteFile(*e.metricsOut)
 }
 
 // faultPlan resolves the fault-injection flags, falling back to the
@@ -198,7 +233,7 @@ func cmdCompile(args []string) error {
 	if *showPlan {
 		fmt.Printf("physical plan:\n%s", res.Plan)
 	}
-	return nil
+	return e.finish()
 }
 
 func cmdSpan(args []string) error {
@@ -225,7 +260,7 @@ func cmdSpan(args []string) error {
 			fmt.Printf("    %s#%d\n", ri.Name, ri.ID)
 		}
 	}
-	return nil
+	return e.finish()
 }
 
 func cmdSearch(args []string) error {
@@ -278,7 +313,7 @@ func cmdSearch(args []string) error {
 		r := rows[i]
 		fmt.Printf("  cost=%.2f  -%v +%v\n", r.cost, names(rs, r.diff.OnlyDefault), names(rs, r.diff.OnlyNew))
 	}
-	return nil
+	return e.finish()
 }
 
 func cmdPipeline(args []string) error {
@@ -298,6 +333,8 @@ func cmdPipeline(args []string) error {
 	p.ExecutePerJob = *k
 	p.Workers = *e.workers
 	p.Cache = steering.NewCompileCache()
+	p.Cache.SetObs(e.reg, "workload", *e.name)
+	p.Obs = e.reg
 	a, err := p.Analyze(j)
 	if err != nil {
 		return err
@@ -333,7 +370,7 @@ func cmdPipeline(args []string) error {
 		fmt.Printf("recommended plan hint for job group %s...:\n%s",
 			rec.GroupSignature[:16], rec.Hints)
 	}
-	return nil
+	return e.finish()
 }
 
 func cmdGroups(args []string) error {
@@ -360,7 +397,7 @@ func cmdGroups(args []string) error {
 		fmt.Printf("  group %2d: %4d jobs, signature %d rules: %v\n",
 			i+1, len(grp.Jobs), grp.Signature.Count(), names(rs, grp.Signature.Ones()))
 	}
-	return nil
+	return e.finish()
 }
 
 func cmdWorkload(args []string) error {
@@ -387,7 +424,7 @@ func cmdWorkload(args []string) error {
 	for _, k := range keys {
 		fmt.Printf("  shape %-14s %4d jobs\n", k, shapes[k])
 	}
-	return nil
+	return e.finish()
 }
 
 // names maps rule IDs to rule names for display.
@@ -434,5 +471,5 @@ func cmdExplain(args []string) error {
 	}
 	rep := e.harness.Executor.Explain(res.Plan, j.Day, j.ID)
 	rep.Render(os.Stdout)
-	return nil
+	return e.finish()
 }

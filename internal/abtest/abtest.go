@@ -7,6 +7,7 @@ package abtest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"steerq/internal/catalog"
 	"steerq/internal/exec"
 	"steerq/internal/faults"
+	"steerq/internal/obs"
 	"steerq/internal/par"
 	"steerq/internal/plan"
 )
@@ -66,6 +68,12 @@ type Harness struct {
 	// deadline. An injected hang waits out the deadline and surfaces as
 	// faults.ErrTimeout.
 	CompileTimeout, ExecTimeout time.Duration
+
+	// Obs, when non-nil, records an abtest.compile and abtest.exec span per
+	// trial (tagged by jobTag — content, never schedule) plus per-site
+	// attempt counters. Assign it together with Executor.SetObs (see
+	// SetObs) so the whole trial reports into one registry.
+	Obs *obs.Registry
 }
 
 // New builds a harness; the executor is configured with the standard
@@ -81,6 +89,25 @@ func New(cat *catalog.Catalog, opt *cascades.Optimizer, seed uint64) *Harness {
 func (h *Harness) SetFaults(in *faults.Injector) {
 	h.Faults = in
 	h.Executor.Faults = in
+}
+
+// SetObs wires observability on the harness and its executor together, so
+// trial spans and execution histograms land in one registry.
+func (h *Harness) SetObs(reg *obs.Registry) {
+	h.Obs = reg
+	h.Executor.SetObs(reg)
+}
+
+// compileOutcome classifies a trial's compile error for its span.
+func compileOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, cascades.ErrNoPlan):
+		return "noplan"
+	default:
+		return obs.OutcomeError
+	}
 }
 
 // RunConfig compiles the job's logical plan under cfg and executes it for the
@@ -99,7 +126,8 @@ func (h *Harness) RunConfigCtx(ctx context.Context, root *plan.Node, cfg bitvec.
 	pol := faults.PolicyOrDefault(h.Retry, h.Faults)
 
 	var res *cascades.Result
-	cAttempts, err := pol.Do(ctx, faults.SiteCompile, h.Faults.RetryRand(faults.SiteCompile, jobTag), rec,
+	cctx, csp := h.Obs.StartSpan(ctx, "abtest.compile", jobTag)
+	cAttempts, err := pol.Do(cctx, faults.SiteCompile, h.Faults.RetryRand(faults.SiteCompile, jobTag), rec,
 		func(actx context.Context, attempt int) error {
 			ictx, cancel := par.ItemContext(actx, h.CompileTimeout)
 			defer cancel()
@@ -112,12 +140,15 @@ func (h *Harness) RunConfigCtx(ctx context.Context, root *plan.Node, cfg bitvec.
 			res = r
 			return nil
 		})
+	csp.End(compileOutcome(err))
+	h.Obs.Counter("steerq_abtest_attempts_total", "site", "compile").Add(uint64(cAttempts))
 	if err != nil {
 		return Trial{Config: cfg, Err: err, Attempts: cAttempts}
 	}
 
 	var m exec.Metrics
-	eAttempts, err := pol.Do(ctx, faults.SiteExec, h.Faults.RetryRand(faults.SiteExec, jobTag), rec,
+	ectx, esp := h.Obs.StartSpan(ctx, "abtest.exec", jobTag)
+	eAttempts, err := pol.Do(ectx, faults.SiteExec, h.Faults.RetryRand(faults.SiteExec, jobTag), rec,
 		func(actx context.Context, attempt int) error {
 			ictx, cancel := par.ItemContext(actx, h.ExecTimeout)
 			defer cancel()
@@ -128,6 +159,8 @@ func (h *Harness) RunConfigCtx(ctx context.Context, root *plan.Node, cfg bitvec.
 			m = mm
 			return nil
 		})
+	esp.EndErr(err)
+	h.Obs.Counter("steerq_abtest_attempts_total", "site", "exec").Add(uint64(eAttempts))
 	t := Trial{
 		Config:    cfg,
 		Signature: res.Signature,

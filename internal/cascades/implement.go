@@ -166,7 +166,11 @@ func (s *search) groupCandidates(g *Group) []*pexpr {
 			if !s.o.Rules.enabled(ri, s.cfg) {
 				continue
 			}
-			for _, proto := range r.Implement(e, s.m) {
+			protos := r.Implement(e, s.m)
+			if len(protos) > 0 {
+				s.o.om.firings[ri.Category].Inc()
+			}
+			for _, proto := range protos {
 				if p := s.buildCandidate(e, proto, ri.ID); p != nil {
 					out = append(out, p)
 				}

@@ -89,6 +89,11 @@ type Memo struct {
 	// every expression into one collision bucket so the structural-equality
 	// fallback is exercised end to end.
 	hashMask uint64
+	// collisions counts interning probes that walked past a structurally
+	// unequal expression sharing their hash bucket. A healthy 64-bit hash
+	// keeps this at (or very near) zero; the observability layer surfaces it
+	// so a degraded hash shows up as a counter, not as silent slowdown.
+	collisions uint64
 	// legacy reroutes interning through the pre-hash string-keyed index.
 	// Test-only: the memo-equivalence golden test compiles every workload
 	// through both paths and asserts identical memos, signatures and plans.
@@ -174,9 +179,14 @@ func (m *Memo) lookupExpr(n *plan.Node, children []*Group) (*Group, uint64, bool
 		if exprEqual(n, children, e.Node, e.Children) {
 			return e.Group, h, true
 		}
+		m.collisions++
 	}
 	return nil, h, false
 }
+
+// Collisions returns the number of interning hash collisions this memo
+// resolved by structural equality.
+func (m *Memo) Collisions() uint64 { return m.collisions }
 
 // insertExpr records a newly interned expression in the structural index
 // under the hash returned by the matching lookupExpr call. The expression is

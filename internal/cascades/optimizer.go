@@ -6,6 +6,7 @@ import (
 
 	"steerq/internal/bitvec"
 	"steerq/internal/cost"
+	"steerq/internal/obs"
 	"steerq/internal/plan"
 )
 
@@ -35,6 +36,44 @@ type Optimizer struct {
 	// compiles both paths and asserts identical results. Remove together
 	// with legacykey.go once the hashed path has baked.
 	LegacyIntern bool
+
+	// om holds the pre-resolved observability instruments (see SetObs).
+	// All fields are nil-safe no-ops until SetObs is called.
+	om optObs
+}
+
+// optObs are the optimizer's pre-resolved metrics: resolved once in SetObs
+// so the per-compilation hot paths pay one atomic add, not a registry
+// lookup. Counters are atomic and histograms hold commutative integer
+// state, so concurrent Optimize calls stay deterministic at snapshot time.
+type optObs struct {
+	// firings counts rule applications per rule category.
+	firings [len(categoryNames)]*obs.Counter
+	// compiles counts outcomes: ok and noplan.
+	ok, noPlan *obs.Counter
+	// collisions accumulates memo interning hash collisions.
+	collisions *obs.Counter
+	// groups and exprs record final memo sizes per compilation.
+	groups, exprs *obs.Histogram
+}
+
+// memoSizeBounds bucket final memo sizes; TotalLimit defaults to 2048, so
+// the finite bounds cover the whole default range.
+var memoSizeBounds = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// SetObs wires the optimizer's compile-time metrics into reg: rule firings
+// per category, compile outcomes, memo sizes and interning collisions. Call
+// it before the first Optimize; a nil registry leaves the optimizer
+// uninstrumented (every instrument no-ops).
+func (o *Optimizer) SetObs(reg *obs.Registry) {
+	for c := range o.om.firings {
+		o.om.firings[c] = reg.Counter("steerq_cascades_rule_firings_total", "category", Category(c).String())
+	}
+	o.om.ok = reg.Counter("steerq_cascades_compiles_total", "outcome", "ok")
+	o.om.noPlan = reg.Counter("steerq_cascades_compiles_total", "outcome", "noplan")
+	o.om.collisions = reg.Counter("steerq_cascades_intern_collisions_total")
+	o.om.groups = reg.Histogram("steerq_cascades_memo_groups", memoSizeBounds)
+	o.om.exprs = reg.Histogram("steerq_cascades_memo_exprs", memoSizeBounds)
 }
 
 // Result is the outcome of one compilation.
@@ -85,9 +124,14 @@ func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error
 	}
 	s.explore()
 	w := s.optimizeGroup(m.Root, plan.Distribution{Kind: plan.DistAny})
+	o.om.collisions.Add(m.Collisions())
+	o.om.groups.Observe(float64(len(m.Groups)))
+	o.om.exprs.Observe(float64(m.TotalExprs()))
 	if w == nil {
+		o.om.noPlan.Inc()
 		return nil, fmt.Errorf("%w (root group %d)", ErrNoPlan, m.Root.ID)
 	}
+	o.om.ok.Inc()
 	p, sig := s.extract(w)
 	return &Result{
 		Plan:      p,
@@ -143,6 +187,7 @@ func (s *search) explore() {
 					if results == nil {
 						continue // did not match; may match later passes
 					}
+					s.o.om.firings[ri.Category].Inc()
 					e.markFired(ri.ID)
 					for _, rn := range results {
 						if s.m.Intern(rn, g, e, ri.ID) {

@@ -31,6 +31,7 @@ import (
 	"steerq/internal/catalog"
 	"steerq/internal/cost"
 	"steerq/internal/faults"
+	"steerq/internal/obs"
 	"steerq/internal/plan"
 	"steerq/internal/xrand"
 )
@@ -82,6 +83,26 @@ type Executor struct {
 	// failure modes). Shared with the compile-side injector so one seed
 	// governs the whole pipeline.
 	Faults *faults.Injector
+
+	// Pre-resolved instruments (see SetObs); nil-safe no-ops until wired.
+	runtimeHist *obs.Histogram
+	execFail    *obs.Counter
+	execHang    *obs.Counter
+}
+
+// execRuntimeBounds bucket simulated runtimes in seconds, log-spaced over
+// the range the workload generators produce (sub-second scans up to the
+// paper's one-hour long-job ceiling).
+var execRuntimeBounds = []float64{1, 10, 60, 300, 900, 1800, 3600, 7200}
+
+// SetObs wires execution metrics into reg: a runtime histogram observed by
+// every Run, and injected-fault counters for RunCtx. Instruments are
+// resolved once here so the execution path pays atomic adds only. Call it
+// before the executor is shared across goroutines.
+func (x *Executor) SetObs(reg *obs.Registry) {
+	x.runtimeHist = reg.Histogram("steerq_exec_runtime_seconds", execRuntimeBounds)
+	x.execFail = reg.Counter("steerq_exec_faults_total", "kind", "fail")
+	x.execHang = reg.Counter("steerq_exec_faults_total", "kind", "hang")
 }
 
 // New returns an executor with default rates for the given catalog.
@@ -166,6 +187,7 @@ func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
 		return v
 	}
 	m.RuntimeSec = walk(p)
+	x.runtimeHist.Observe(m.RuntimeSec)
 	return m
 }
 
@@ -178,10 +200,12 @@ func (x *Executor) Run(p *plan.PhysNode, day int, tag string) Metrics {
 func (x *Executor) RunCtx(ctx context.Context, p *plan.PhysNode, day int, tag string, attempt int) (Metrics, error) {
 	switch x.Faults.Decide(faults.SiteExec, tag, attempt) {
 	case faults.KindFail:
+		x.execFail.Inc()
 		return Metrics{}, faults.Injectedf(faults.SiteExec, tag, attempt)
 	case faults.KindHang, faults.KindCorrupt:
 		// Executions have no result to corrupt; a corrupt draw (site probs
 		// normally keep it at zero) degrades to a hang.
+		x.execHang.Inc()
 		return Metrics{}, faults.Hang(ctx, faults.SiteExec, tag, attempt)
 	}
 	if err := ctx.Err(); err != nil {

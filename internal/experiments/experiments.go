@@ -19,6 +19,7 @@ import (
 	"steerq/internal/cost"
 	"steerq/internal/exec"
 	"steerq/internal/faults"
+	"steerq/internal/obs"
 	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/steering"
@@ -67,6 +68,11 @@ type Config struct {
 	// same plan (same seed) reproduces the same faults at any Workers
 	// value.
 	Faults *faults.Plan
+	// Obs, when non-nil, is the registry the runner wires through every
+	// harness, optimizer, pipeline and cache it builds. Nil means the
+	// runner builds its own on obs.ClockFromEnv (so STEERQ_VCLOCK freezes
+	// span durations for byte-stable snapshots).
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -99,6 +105,7 @@ type Runner struct {
 	robust    map[string]*faults.Record         // per workload: fault-handling tallies
 	injector  *faults.Injector                  // shared by every harness; nil when Cfg.Faults is nil
 	armed     bool                              // injector has been built (it may legitimately be nil)
+	obs       *obs.Registry                     // shared registry; built lazily by Obs()
 }
 
 // NewRunner builds a Runner for the configuration.
@@ -156,7 +163,9 @@ func (r *Runner) Harness(name string) *abtest.Harness {
 	}
 	w := r.Workload(name)
 	opt := rules.NewOptimizer(cost.NewEstimated(w.Cat))
+	opt.SetObs(r.Obs())
 	h := abtest.New(w.Cat, opt, r.Cfg.Seed+1)
+	h.SetObs(r.Obs())
 	if r.Cfg.CheckPlans {
 		h.Executor.CheckPlans = true
 	}
@@ -167,6 +176,21 @@ func (r *Runner) Harness(name string) *abtest.Harness {
 	return h
 }
 
+// Obs returns the runner's shared observability registry, building it on
+// first use from Cfg.Obs (or a fresh registry on obs.ClockFromEnv). Every
+// harness, optimizer, pipeline, cache and injector the runner builds
+// reports into it.
+func (r *Runner) Obs() *obs.Registry {
+	if r.obs == nil {
+		if r.Cfg.Obs != nil {
+			r.obs = r.Cfg.Obs
+		} else {
+			r.obs = obs.NewWithClock(obs.ClockFromEnv())
+		}
+	}
+	return r.obs
+}
+
 // Faults returns the runner's shared fault injector, building it on first
 // use from Cfg.Faults; nil when injection is off. One injector serves every
 // workload so its decision counters cover the whole run.
@@ -174,6 +198,7 @@ func (r *Runner) Faults() *faults.Injector {
 	if !r.armed {
 		if r.Cfg.Faults != nil {
 			r.injector = faults.NewInjector(*r.Cfg.Faults)
+			r.injector.Publish(r.Obs())
 		}
 		r.armed = true
 	}
@@ -232,6 +257,7 @@ func (r *Runner) Pipeline(name string) *steering.Pipeline {
 	p.ExecutePerJob = r.Cfg.ExecutePerJob
 	p.Workers = r.Cfg.Workers
 	p.Cache = r.Cache(name)
+	p.Obs = r.Obs()
 	return p
 }
 
@@ -241,6 +267,7 @@ func (r *Runner) Cache(name string) *steering.CompileCache {
 		return c
 	}
 	c := steering.NewCompileCache()
+	c.SetObs(r.Obs(), "workload", name)
 	r.caches[name] = c
 	return c
 }

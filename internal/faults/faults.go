@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"steerq/internal/obs"
 	"steerq/internal/xrand"
 )
 
@@ -209,6 +210,29 @@ func (in *Injector) RetryRand(site Site, tag string) *xrand.Source {
 
 func (in *Injector) rand(kind string, site Site, tag string, attempt int) *xrand.Source {
 	return xrand.New(in.plan.Seed).Derive("fault", kind, string(site), tag, strconv.Itoa(attempt))
+}
+
+// Publish registers the injector's tallies as snapshot-time gauges on reg:
+// decisions taken and faults injected per kind. Gauge functions read the
+// atomic counters when the snapshot is taken, so the values are exact totals
+// regardless of how many goroutines share the injector. Safe on a nil
+// injector or registry.
+func (in *Injector) Publish(reg *obs.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("steerq_faults_decisions", func() float64 {
+		return float64(in.decisions.Load())
+	})
+	reg.GaugeFunc("steerq_faults_injected", func() float64 {
+		return float64(in.fails.Load())
+	}, "kind", "fail")
+	reg.GaugeFunc("steerq_faults_injected", func() float64 {
+		return float64(in.hangs.Load())
+	}, "kind", "hang")
+	reg.GaugeFunc("steerq_faults_injected", func() float64 {
+		return float64(in.corrupts.Load())
+	}, "kind", "corrupt")
 }
 
 // Stats snapshots the injection counters. Safe on nil.

@@ -218,46 +218,7 @@ func (n *Network) Train(samples []Sample, cfg TrainConfig, r *xrand.Source) floa
 			zero()
 			batchN := 0
 			for _, si := range order[start:end] {
-				s := samples[si]
-				hidden, out := n.forward(s.X)
-				// dL/dz2 for sigmoid+BCE is (p - y).
-				dz2 := make([]float64, n.Out)
-				for o, p := range out {
-					if s.Mask != nil && !s.Mask[o] {
-						continue
-					}
-					dz2[o] = p - s.Y[o]
-					epochLoss += bce(s.Y[o], p)
-					epochCount++
-				}
-				for o := range dz2 {
-					if dz2[o] == 0 {
-						continue
-					}
-					gb2[o] += dz2[o]
-					for h, hv := range hidden {
-						gw2[o][h] += dz2[o] * hv
-					}
-				}
-				// Backprop to hidden (ReLU).
-				for h, hv := range hidden {
-					if hv <= 0 {
-						continue
-					}
-					var dh float64
-					for o := range dz2 {
-						dh += dz2[o] * n.W2[o][h]
-					}
-					if dh == 0 {
-						continue
-					}
-					gb1[h] += dh
-					for i, xi := range s.X {
-						if xi != 0 {
-							gw1[h][i] += dh * xi
-						}
-					}
-				}
+				epochCount += n.accumGrads(samples[si], gw1, gb1, gw2, gb2, &epochLoss)
 				batchN++
 			}
 			if batchN == 0 {
@@ -291,6 +252,95 @@ func (n *Network) Train(samples []Sample, cfg TrainConfig, r *xrand.Source) floa
 		}
 	}
 	return lastLoss
+}
+
+// accumGrads runs forward and backprop for one sample, adding its un-scaled
+// gradient contributions (of the summed per-output BCE loss) into the
+// accumulators and its loss terms into *lossAcc, one bce() add at a time so
+// the accumulation order matches the pre-extraction Train loop exactly. It
+// returns the number of valid (masked-in) output pairs.
+func (n *Network) accumGrads(s Sample, gw1 [][]float64, gb1 []float64, gw2 [][]float64, gb2 []float64, lossAcc *float64) int {
+	valid := 0
+	hidden, out := n.forward(s.X)
+	// dL/dz2 for sigmoid+BCE is (p - y).
+	dz2 := make([]float64, n.Out)
+	for o, p := range out {
+		if s.Mask != nil && !s.Mask[o] {
+			continue
+		}
+		dz2[o] = p - s.Y[o]
+		*lossAcc += bce(s.Y[o], p)
+		valid++
+	}
+	for o := range dz2 {
+		if dz2[o] == 0 {
+			continue
+		}
+		gb2[o] += dz2[o]
+		for h, hv := range hidden {
+			gw2[o][h] += dz2[o] * hv
+		}
+	}
+	// Backprop to hidden (ReLU).
+	for h, hv := range hidden {
+		if hv <= 0 {
+			continue
+		}
+		var dh float64
+		for o := range dz2 {
+			dh += dz2[o] * n.W2[o][h]
+		}
+		if dh == 0 {
+			continue
+		}
+		gb1[h] += dh
+		for i, xi := range s.X {
+			if xi != 0 {
+				gw1[h][i] += dh * xi
+			}
+		}
+	}
+	return valid
+}
+
+// Gradients computes the analytic gradient of BCELoss over the samples with
+// respect to every parameter, normalized like BCELoss itself (by the count of
+// valid masked-in output pairs), so a finite-difference probe of BCELoss
+// validates these directly. The network is not modified. All-masked sample
+// sets return zero gradients.
+func (n *Network) Gradients(samples []Sample) (gw1 [][]float64, gb1 []float64, gw2 [][]float64, gb2 []float64) {
+	gw1 = make([][]float64, n.Hidden)
+	for h := range gw1 {
+		gw1[h] = make([]float64, n.In)
+	}
+	gw2 = make([][]float64, n.Out)
+	for o := range gw2 {
+		gw2[o] = make([]float64, n.Hidden)
+	}
+	gb1 = make([]float64, n.Hidden)
+	gb2 = make([]float64, n.Out)
+	var loss float64
+	valid := 0
+	for _, s := range samples {
+		valid += n.accumGrads(s, gw1, gb1, gw2, gb2, &loss)
+	}
+	if valid == 0 {
+		return gw1, gb1, gw2, gb2
+	}
+	inv := 1 / float64(valid)
+	for h := range gw1 {
+		for i := range gw1[h] {
+			gw1[h][i] *= inv
+		}
+		gb1[h] *= inv
+	}
+	for o := range gw2 {
+		for h := range gw2[o] {
+			gw2[o][h] *= inv
+		}
+		gb2[o] *= inv
+	}
+	return gw1, gb1, gw2, gb2
 }
 
 // Marshal serializes the network to JSON (the models are ~small at simulator

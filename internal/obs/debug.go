@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// publishOnce guards expvar publication: expvar.Publish panics on duplicate
+// names, and tests (plus repeated CLI invocations in one process) may wire
+// more than one registry. The last-published registry wins.
+var (
+	publishMu  sync.Mutex
+	publishReg *Registry
+	publishSet bool
+)
+
+// Publish exposes the registry under the expvar key "steerq" as a JSON
+// snapshot function. Safe to call more than once (later registries replace
+// earlier ones under the same key).
+func (r *Registry) Publish() {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	publishReg = r
+	if publishSet {
+		return
+	}
+	publishSet = true
+	expvar.Publish("steerq", expvar.Func(func() any {
+		publishMu.Lock()
+		reg := publishReg
+		publishMu.Unlock()
+		return reg.Snapshot()
+	}))
+}
+
+// DebugServer is the optional HTTP endpoint behind -debug-addr. It serves
+// the stdlib expvar page at /debug/vars (which includes the published
+// "steerq" snapshot) and the Prometheus-style exposition at /metrics.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug publishes the registry via expvar and starts an HTTP server on
+// addr (e.g. "localhost:6060"). It returns once the listener is bound; the
+// server runs until Close.
+func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: serve debug: nil registry")
+	}
+	r.Publish()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve debug: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		var b strings.Builder
+		if err := r.Snapshot().Text(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound listen address (useful with ":0" in tests).
+func (d *DebugServer) Addr() string {
+	if d == nil || d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the debug server.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	if err := d.srv.Close(); err != nil {
+		return fmt.Errorf("obs: close debug server: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"steerq/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := obs.New()
+	r.Counter("steerq_debug_test_total", "kind", "a").Add(9)
+	srv, err := r.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatal("bound server must report its address")
+	}
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `steerq_debug_test_total{kind="a"} 9`) {
+		t.Fatalf("/metrics missing counter sample:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Steerq obs.Snapshot `json:"steerq"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if len(vars.Steerq.Counters) != 1 || vars.Steerq.Counters[0].Value != 9 {
+		t.Fatalf("expvar snapshot = %+v", vars.Steerq)
+	}
+}
+
+// TestPublishLastRegistryWins: expvar.Publish panics on duplicate keys, so
+// re-publishing (tests, repeated CLI setup in one process) must swap the
+// backing registry instead of registering the key again.
+func TestPublishLastRegistryWins(t *testing.T) {
+	old := obs.New()
+	old.Counter("steerq_old_total").Inc()
+	old.Publish()
+
+	cur := obs.New()
+	cur.Counter("steerq_new_total").Add(5)
+	srv, err := cur.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, body := get(t, "http://"+srv.Addr()+"/debug/vars")
+	if !strings.Contains(body, "steerq_new_total") {
+		t.Fatalf("/debug/vars does not reflect the last published registry:\n%s", body)
+	}
+	if strings.Contains(body, "steerq_old_total") {
+		t.Fatalf("/debug/vars still serves a stale registry:\n%s", body)
+	}
+}
+
+func TestServeDebugNilRegistry(t *testing.T) {
+	var r *obs.Registry
+	if _, err := r.ServeDebug("127.0.0.1:0"); err == nil {
+		t.Fatal("nil registry must refuse to serve")
+	}
+	r.Publish() // must not panic
+	var d *obs.DebugServer
+	if d.Addr() != "" {
+		t.Fatal("nil server Addr must be empty")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("nil server Close: %v", err)
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	r := obs.New()
+	if _, err := r.ServeDebug("256.256.256.256:99999"); err == nil {
+		t.Fatal("unbindable address must error")
+	}
+}

@@ -1,0 +1,207 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"steerq/internal/obs"
+)
+
+// goldenRegistry builds one registry exercising every metric kind with fixed
+// values, on a manual clock so span durations are pinned.
+func goldenRegistry() *obs.Registry {
+	mc := obs.NewManualClock()
+	r := obs.NewWithClock(mc.Clock())
+	r.Counter("steerq_pipeline_candidates_total", "outcome", "compiled").Add(12)
+	r.Counter("steerq_pipeline_candidates_total", "outcome", "noplan").Add(3)
+	r.Counter("steerq_cache_hits_total", "workload", "A").Add(40)
+	r.Gauge("steerq_cache_entries", "workload", "A").Set(7)
+	r.GaugeFunc("steerq_faults_decisions", func() float64 { return 123 })
+	h := r.Histogram("steerq_exec_runtime_seconds", []float64{1, 10, 60})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(600)
+	ctx, parent := r.StartSpan(context.Background(), "pipeline.recompile", "d0j1")
+	mc.Advance(1500 * time.Microsecond)
+	_, child := r.StartSpan(ctx, "pipeline.span_search", "d0j1")
+	mc.Advance(500 * time.Microsecond)
+	child.End(obs.OutcomeOK)
+	parent.End(obs.OutcomeOK)
+	_, errSpan := r.StartSpan(context.Background(), "abtest.compile", "d0j2")
+	errSpan.End("noplan")
+	return r
+}
+
+// goldenText locks the exposition format: # TYPE lines per family, sorted
+// samples, cumulative histogram buckets ending at le="+Inf", spans aggregated
+// per (stage, outcome). Any byte of drift here is an exposition format change
+// and must be deliberate.
+const goldenText = `# TYPE steerq_cache_hits_total counter
+steerq_cache_hits_total{workload="A"} 40
+# TYPE steerq_pipeline_candidates_total counter
+steerq_pipeline_candidates_total{outcome="compiled"} 12
+steerq_pipeline_candidates_total{outcome="noplan"} 3
+# TYPE steerq_cache_entries gauge
+steerq_cache_entries{workload="A"} 7
+# TYPE steerq_faults_decisions gauge
+steerq_faults_decisions 123
+# TYPE steerq_exec_runtime_seconds histogram
+steerq_exec_runtime_seconds_bucket{le="1"} 1
+steerq_exec_runtime_seconds_bucket{le="10"} 3
+steerq_exec_runtime_seconds_bucket{le="60"} 3
+steerq_exec_runtime_seconds_bucket{le="+Inf"} 4
+steerq_exec_runtime_seconds_sum 610.5
+steerq_exec_runtime_seconds_count 4
+# TYPE steerq_span_total counter
+steerq_span_total{outcome="noplan",stage="abtest.compile"} 1
+steerq_span_total{outcome="ok",stage="pipeline.recompile"} 1
+steerq_span_total{outcome="ok",stage="pipeline.span_search"} 1
+# TYPE steerq_span_duration_ns_total counter
+steerq_span_duration_ns_total{outcome="noplan",stage="abtest.compile"} 0
+steerq_span_duration_ns_total{outcome="ok",stage="pipeline.recompile"} 2000000
+steerq_span_duration_ns_total{outcome="ok",stage="pipeline.span_search"} 500000
+`
+
+func TestTextExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenText {
+		t.Fatalf("text exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, goldenText)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	data, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("MarshalIndent must end with a newline")
+	}
+	back, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("snapshot round trip lost information:\nbefore %+v\nafter  %+v", snap, back)
+	}
+	again, err := back.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-marshaled snapshot is not byte-identical")
+	}
+}
+
+func TestParseSnapshotRejectsUnknownFields(t *testing.T) {
+	if _, err := obs.ParseSnapshot([]byte(`{"counters": [], "surprise": 1}`)); err == nil {
+		t.Fatal("unknown top-level field must be rejected")
+	}
+	if _, err := obs.ParseSnapshot([]byte(`{"counters": [{"name": "x", "value": 1, "extra": true}]}`)); err == nil {
+		t.Fatal("unknown nested field must be rejected")
+	}
+	if _, err := obs.ParseSnapshot([]byte(`not json`)); err == nil {
+		t.Fatal("malformed input must be rejected")
+	}
+}
+
+func TestTextEscapesLabelValues(t *testing.T) {
+	r := obs.New()
+	r.Counter("m_total", "path", "a\\b\"c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.Snapshot().Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `m_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("label value not escaped:\n%s", buf.String())
+	}
+}
+
+func TestWriteFileFormats(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	dir := t.TempDir()
+
+	jsonPath := dir + "/metrics.json"
+	if err := snap.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	jdata, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ParseSnapshot(jdata); err != nil {
+		t.Fatalf("JSON metrics file did not parse back: %v", err)
+	}
+
+	promPath := dir + "/metrics.prom"
+	if err := snap.WriteFile(promPath); err != nil {
+		t.Fatal(err)
+	}
+	pdata, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pdata) != goldenText {
+		t.Fatalf(".prom file is not the text exposition:\n%s", pdata)
+	}
+}
+
+func TestReportTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== observability report ==",
+		"-- counters --",
+		`steerq_pipeline_candidates_total{outcome=compiled}`,
+		"-- gauges --",
+		"-- histograms --",
+		"count=4 sum=610.5 mean=152.625",
+		"-- spans (by stage) --",
+		"pipeline.recompile ok",
+		"n=1 total=2ms",
+		"n=1 total=500us",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptySnapshotOutputs(t *testing.T) {
+	snap := obs.New().Snapshot()
+	var buf bytes.Buffer
+	if err := snap.Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot exposition not empty: %q", buf.String())
+	}
+	buf.Reset()
+	if err := snap.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "== observability report ==\n" {
+		t.Fatalf("empty report = %q", got)
+	}
+	data, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "{}" {
+		t.Fatalf("empty snapshot JSON = %q", data)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event count. Adds are atomic and commutative, so the
+// total read at snapshot time is independent of goroutine scheduling — the
+// property the W1-vs-W8 determinism suite asserts. The zero value is ready
+// to use; a nil counter records nothing.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Uint64
+}
+
+// NewCounter returns a standalone counter not attached to any registry —
+// useful for components (the compile cache) that keep counting whether or
+// not observability is wired, and re-point to registry counters when it is.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins instantaneous value. Concurrent Sets race by
+// design (the winner is schedule-dependent), so deterministic pipelines set
+// gauges only from serial sections — or use Registry.GaugeFunc.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histShards is the fixed shard count of one histogram. Shard choice only
+// spreads lock contention; because every shard holds commutative integer
+// state and shards merge serially in index order at snapshot time, the
+// merged result is identical for any assignment of observations to shards.
+const histShards = 8
+
+// histShard is one lock-guarded slice of a histogram.
+type histShard struct {
+	mu sync.Mutex
+	// counts[i] tallies observations in bucket i; the last bucket is +Inf.
+	counts []uint64
+	// sumMicros accumulates observations in fixed-point micro-units.
+	// Integer addition is associative and commutative, which is what keeps
+	// the merged Sum bit-identical at any worker count — a float64 sum
+	// would depend on accumulation order.
+	sumMicros int64
+	count     uint64
+}
+
+// Histogram is a fixed-bucket, lock-sharded distribution. Observations pick
+// a shard from their value bits, update integer state under the shard lock,
+// and the shards are merged serially at snapshot time (the faults.Record
+// pattern). A nil histogram records nothing.
+type Histogram struct {
+	name   string
+	labels []Label
+	// bounds are ascending upper bounds; observations above the last bound
+	// land in the implicit +Inf bucket.
+	bounds []float64
+	shards [histShards]histShard
+}
+
+func newHistogram(name string, labels []Label, bounds []float64) *Histogram {
+	h := &Histogram{name: name, labels: labels, bounds: append([]float64(nil), bounds...)}
+	for i := range h.shards {
+		h.shards[i].counts = make([]uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	b := len(h.bounds)
+	for i, ub := range h.bounds {
+		if v <= ub {
+			b = i
+			break
+		}
+	}
+	s := &h.shards[shardOf(v)]
+	s.mu.Lock()
+	s.counts[b]++
+	s.count++
+	s.sumMicros += toMicros(v)
+	s.mu.Unlock()
+}
+
+// shardOf spreads observations across shards by mixing the value bits. Any
+// mapping is correct (see histShard); this one keeps identical values from
+// piling onto one lock only when they genuinely repeat.
+func shardOf(v float64) int {
+	x := math.Float64bits(v)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % histShards)
+}
+
+// toMicros converts an observation to fixed-point micro-units with
+// round-half-away-from-zero. Per-observation rounding is deterministic, so
+// the integer sum is too.
+func toMicros(v float64) int64 {
+	scaled := v * 1e6
+	if scaled >= 0 {
+		return int64(scaled + 0.5)
+	}
+	return int64(scaled - 0.5)
+}
+
+// snapshot merges the shards serially in index order.
+func (h *Histogram) snapshot() HistogramPoint {
+	p := HistogramPoint{
+		Name:   h.name,
+		Labels: h.labels,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	var micros int64
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for b, c := range s.counts {
+			p.Counts[b] += c
+		}
+		p.Count += s.count
+		micros += s.sumMicros
+		s.mu.Unlock()
+	}
+	p.Sum = float64(micros) / 1e6
+	return p
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report writes a human-readable table of the snapshot: counters, gauges,
+// histogram summaries (count/sum/mean) and spans aggregated per stage and
+// outcome. It is the experiments-summary view; machine consumers use Text or
+// MarshalIndent.
+func (s Snapshot) Report(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("== observability report ==\n")
+	if len(s.Counters) > 0 {
+		b.WriteString("-- counters --\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-58s %d\n", metricID(c.Name, c.Labels), c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("-- gauges --\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-58s %s\n", metricID(g.Name, g.Labels), formatFloat(g.Value))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("-- histograms --\n")
+		for _, h := range s.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "  %-58s count=%d sum=%s mean=%s\n",
+				metricID(h.Name, h.Labels), h.Count, formatFloat(h.Sum), formatFloat(mean))
+		}
+	}
+	if len(s.Spans) > 0 {
+		b.WriteString("-- spans (by stage) --\n")
+		type agg struct {
+			count uint64
+			durNs int64
+		}
+		aggs := make(map[string]*agg)
+		order := make([]string, 0, 8)
+		for _, sp := range s.Spans {
+			k := sp.Stage + " " + sp.Outcome
+			a, ok := aggs[k]
+			if !ok {
+				a = &agg{}
+				aggs[k] = a
+				order = append(order, k)
+			}
+			a.count++
+			a.durNs += sp.DurationNs
+		}
+		sort.Strings(order)
+		for _, k := range order {
+			a := aggs[k]
+			fmt.Fprintf(&b, "  %-58s n=%d total=%s\n", k, a.count, formatDurNs(a.durNs))
+		}
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}
+
+// formatDurNs renders a nanosecond total compactly for the report table.
+func formatDurNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return formatFloat(float64(ns)/1e9) + "s"
+	case ns >= 1e6:
+		return formatFloat(float64(ns)/1e6) + "ms"
+	case ns >= 1e3:
+		return formatFloat(float64(ns)/1e3) + "us"
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -2,9 +2,9 @@ package steering
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"steerq/internal/bitvec"
+	"steerq/internal/obs"
 	"steerq/internal/workload"
 )
 
@@ -48,22 +48,54 @@ type cacheShard struct {
 	m  map[CompileKey]CompileValue
 }
 
+// Cache metric names. The cache always counts through *obs.Counter — a
+// standalone pair by default, registry-owned ones after SetObs — so reads
+// are atomic everywhere (the bespoke counters steerq-bench used to read are
+// gone) and wiring observability re-points rather than duplicates.
+const (
+	cacheHitsMetric    = "steerq_cache_hits_total"
+	cacheMissesMetric  = "steerq_cache_misses_total"
+	cacheEntriesMetric = "steerq_cache_entries"
+)
+
 // CompileCache is a sharded, concurrency-safe memo of compilation outcomes
 // keyed by CompileKey. A single cache is shared across days and experiments
 // of one workload; hit/miss counters feed the steerq-bench perf report.
 type CompileCache struct {
 	shards [cacheShards]cacheShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 // NewCompileCache returns an empty cache.
 func NewCompileCache() *CompileCache {
-	c := &CompileCache{}
+	c := &CompileCache{
+		hits:   obs.NewCounter(cacheHitsMetric),
+		misses: obs.NewCounter(cacheMissesMetric),
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[CompileKey]CompileValue)
 	}
 	return c
+}
+
+// SetObs re-points the cache's counters at registry-owned instruments (with
+// the given label pairs, e.g. "workload", "A") and registers an entry-count
+// gauge. Counts accumulated before the call carry over. Call it before the
+// cache is shared across goroutines: the counter fields themselves are not
+// synchronized, only their values are.
+func (c *CompileCache) SetObs(reg *obs.Registry, labels ...string) {
+	if c == nil || reg == nil {
+		return
+	}
+	hits := reg.Counter(cacheHitsMetric, labels...)
+	misses := reg.Counter(cacheMissesMetric, labels...)
+	hits.Add(c.hits.Value())
+	misses.Add(c.misses.Value())
+	c.hits, c.misses = hits, misses
+	reg.GaugeFunc(cacheEntriesMetric, func() float64 {
+		return float64(c.Stats().Entries)
+	}, labels...)
 }
 
 // shard maps a key to its shard by mixing the fingerprint words; the config
@@ -85,9 +117,9 @@ func (c *CompileCache) Get(k CompileKey) (CompileValue, bool) {
 	v, ok := s.m[k]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 	} else {
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	return v, ok
 }
@@ -125,7 +157,7 @@ func (c *CompileCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := CacheStats{Hits: c.hits.Value(), Misses: c.misses.Value()}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()

@@ -1,0 +1,70 @@
+package steering
+
+import (
+	"errors"
+
+	"steerq/internal/cascades"
+	"steerq/internal/faults"
+	"steerq/internal/obs"
+)
+
+// candidateOutcome classifies one candidate recompilation for the
+// steerq_pipeline_candidates_total counter.
+func candidateOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "compiled"
+	case errors.Is(err, cascades.ErrNoPlan):
+		return "noplan"
+	default:
+		return "faulted"
+	}
+}
+
+// trialOutcome classifies one executed alternative for the
+// steerq_pipeline_trials_total counter.
+func trialOutcome(err error, fellBack bool) string {
+	switch {
+	case fellBack:
+		return "fallback"
+	case err != nil:
+		return obs.OutcomeError
+	default:
+		return obs.OutcomeOK
+	}
+}
+
+// mirrorRobustness adds one analysis stage's fault-handling delta to the
+// registry's robustness counters. Deltas are computed from serially merged
+// faults.Record values and added serially by the pipeline, so the counters
+// match the records bit-for-bit at any worker count.
+func mirrorRobustness(reg *obs.Registry, d faults.Record) {
+	if reg == nil || d.IsZero() {
+		return
+	}
+	add := func(name, kind string, n int) {
+		if n > 0 {
+			reg.Counter(name, "kind", kind).Add(uint64(n))
+		}
+	}
+	add("steerq_robustness_retries_total", "compile", d.CompileRetries)
+	add("steerq_robustness_retries_total", "exec", d.ExecRetries)
+	add("steerq_robustness_events_total", "timeout", d.Timeouts)
+	add("steerq_robustness_events_total", "corruption", d.Corruptions)
+	add("steerq_robustness_events_total", "fallback", d.Fallbacks)
+	add("steerq_robustness_events_total", "giveup", d.GiveUps)
+}
+
+// recordDelta returns after minus before, field by field. Backoff is a
+// duration total and subtracts like the counts.
+func recordDelta(after, before faults.Record) faults.Record {
+	return faults.Record{
+		CompileRetries: after.CompileRetries - before.CompileRetries,
+		ExecRetries:    after.ExecRetries - before.ExecRetries,
+		Timeouts:       after.Timeouts - before.Timeouts,
+		Corruptions:    after.Corruptions - before.Corruptions,
+		Fallbacks:      after.Fallbacks - before.Fallbacks,
+		GiveUps:        after.GiveUps - before.GiveUps,
+		Backoff:        after.Backoff - before.Backoff,
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"steerq/internal/bitvec"
 	"steerq/internal/cascades"
 	"steerq/internal/faults"
+	"steerq/internal/obs"
 	"steerq/internal/par"
 	"steerq/internal/workload"
 	"steerq/internal/xrand"
@@ -83,6 +84,14 @@ type Pipeline struct {
 	// never cached; only validated successes and genuine no-plan outcomes
 	// are.
 	Cache *CompileCache
+
+	// Obs, when non-nil, records per-stage spans (pipeline.recompile,
+	// pipeline.span_search, pipeline.execute — tagged by job ID, never by
+	// schedule) and candidate/trial outcome counters, and mirrors the
+	// serially merged faults.Record into robustness counters. All recorded
+	// state is commutative or content-keyed, so snapshots stay bit-identical
+	// at any Workers value.
+	Obs *obs.Registry
 }
 
 // NewPipeline returns a pipeline with the paper's parameters (M=1000, 10
@@ -118,6 +127,16 @@ func (p *Pipeline) Recompile(job *workload.Job) (*Analysis, error) {
 
 // RecompileCtx is Recompile bounded by a context.
 func (p *Pipeline) RecompileCtx(ctx context.Context, job *workload.Job) (*Analysis, error) {
+	ctx, sp := p.Obs.StartSpan(ctx, "pipeline.recompile", job.ID)
+	a, err := p.recompileCtx(ctx, job)
+	sp.EndErr(err)
+	if a != nil {
+		mirrorRobustness(p.Obs, a.Robustness)
+	}
+	return a, err
+}
+
+func (p *Pipeline) recompileCtx(ctx context.Context, job *workload.Job) (*Analysis, error) {
 	h := p.Harness
 	a := &Analysis{Job: job}
 	def := h.RunConfigCtx(ctx, job.Root, h.Opt.Rules.DefaultConfig(), job.Day, job.ID+"/default", &a.Robustness)
@@ -128,6 +147,7 @@ func (p *Pipeline) RecompileCtx(ctx context.Context, job *workload.Job) (*Analys
 	// Span probing is serial, so a plain counter gives each probe a stable
 	// tag independent of worker count.
 	probe := 0
+	_, spanSp := p.Obs.StartSpan(ctx, "pipeline.span_search", job.ID)
 	span, err := JobSpanFunc(h.Opt.Rules, func(cfg bitvec.Vector) (bitvec.Vector, error) {
 		tag := fmt.Sprintf("%s/span%d", job.ID, probe)
 		probe++
@@ -137,6 +157,7 @@ func (p *Pipeline) RecompileCtx(ctx context.Context, job *workload.Job) (*Analys
 		}
 		return v.Signature, nil
 	})
+	spanSp.EndErr(err)
 	if err != nil {
 		return nil, fmt.Errorf("steering: span of %s: %w", job.ID, err)
 	}
@@ -145,6 +166,15 @@ func (p *Pipeline) RecompileCtx(ctx context.Context, job *workload.Job) (*Analys
 	// pure compile calls fan out below.
 	r := p.Rand.Derive("job", job.ID)
 	cfgs := CandidateConfigs(span, h.Opt.Rules, p.MaxCandidates, r)
+	// Candidate outcomes are per-candidate counters, not spans: M can be
+	// 1000, and an atomic add per candidate keeps the volume O(1) in memory.
+	// Pre-resolving the three counters keeps registry lookups out of the
+	// fan-out.
+	candCounters := map[string]*obs.Counter{
+		"compiled": p.Obs.Counter("steerq_pipeline_candidates_total", "outcome", "compiled"),
+		"noplan":   p.Obs.Counter("steerq_pipeline_candidates_total", "outcome", "noplan"),
+		"faulted":  p.Obs.Counter("steerq_pipeline_candidates_total", "outcome", "faulted"),
+	}
 	type slot struct {
 		c   Candidate
 		ok  bool
@@ -154,6 +184,7 @@ func (p *Pipeline) RecompileCtx(ctx context.Context, job *workload.Job) (*Analys
 		var s slot
 		tag := fmt.Sprintf("%s/cand%d", job.ID, i)
 		v, cerr := p.compile(ctx, job, cfg, tag, &s.rec)
+		candCounters[candidateOutcome(cerr)].Inc()
 		if cerr != nil {
 			return s, nil // configurations that do not compile are expected
 		}
@@ -231,6 +262,12 @@ func (p *Pipeline) Execute(a *Analysis) {
 // FellBack) and counts the fallback in a.Robustness — the steered job runs,
 // just without its steering.
 func (p *Pipeline) ExecuteCtx(ctx context.Context, a *Analysis) {
+	ctx, sp := p.Obs.StartSpan(ctx, "pipeline.execute", a.Job.ID)
+	before := a.Robustness
+	defer func() {
+		sp.End(obs.OutcomeOK)
+		mirrorRobustness(p.Obs, recordDelta(a.Robustness, before))
+	}()
 	cands := append([]Candidate(nil), a.Candidates...)
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].EstCost < cands[j].EstCost })
 	seen := map[bitvec.Key]bool{a.Default.Signature.Key(): true}
@@ -255,6 +292,7 @@ func (p *Pipeline) ExecuteCtx(ctx context.Context, a *Analysis) {
 			a.Robustness.Fallbacks++
 			t = fb
 		}
+		p.Obs.Counter("steerq_pipeline_trials_total", "outcome", trialOutcome(t.Err, t.FellBack)).Inc()
 		a.Trials = append(a.Trials, t)
 	}
 }
