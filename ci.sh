@@ -5,7 +5,11 @@
 #   1. go build ./...            everything compiles
 #   2. gofmt -l                  no unformatted files
 #   3. go vet ./...              stdlib vet findings
-#   4. go run ./cmd/steerq-lint  project-specific analyzers (see README)
+#   4. go run ./cmd/steerq-lint  all ten project analyzers (see README),
+#                                filtered through lint-baseline.json; the JSON
+#                                report is archived as LINT_report.json next
+#                                to BENCH_pipeline.json, and stale baseline
+#                                entries fail the stage
 #   5. go test -race ./...       unit + property + golden tests under the
 #                                race detector, with plan validation forced
 #                                on via STEERQ_CHECK_PLANS
@@ -29,10 +33,14 @@
 #                                -metrics-out, diffed byte-for-byte against the
 #                                committed snapshot golden — metric drift and
 #                                nondeterminism both fail here
-#  12. short fuzz pass           30s total over the scopeql parser/binder,
+#  12. perf stamp smoke          a tiny steerq-bench -perf run under the
+#                                frozen clock: the report's generated_unix
+#                                stamp must be 0, proving -perf reports are
+#                                reproducible end to end under STEERQ_VCLOCK
+#  13. short fuzz pass           30s total over the scopeql parser/binder,
 #                                including the parse-print-parse round trip
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 12 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 13 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -49,8 +57,14 @@ fi
 echo "== vet =="
 go vet ./...
 
-echo "== steerq-lint =="
-go run ./cmd/steerq-lint ./...
+echo "== steerq-lint (json report, baseline) =="
+if go run ./cmd/steerq-lint -format=json -baseline lint-baseline.json ./... > LINT_report.json; then
+    echo "lint clean; report archived in LINT_report.json"
+else
+    cat LINT_report.json
+    echo "steerq-lint: findings or stale baseline entries (report above)" >&2
+    exit 1
+fi
 
 echo "== test (race) =="
 STEERQ_CHECK_PLANS=1 go test -race ./...
@@ -64,9 +78,9 @@ go test -race ./internal/rules/ -run TestCompileAllocationBudget -count=1
 echo "== bench smoke (1x) =="
 go test -run '^$' -bench BenchmarkPipelineWorkers1 -benchtime=1x -benchmem .
 
-echo "== coverage floor (faults, par, steering, obs, learning, nn >= 80%) =="
+echo "== coverage floor (faults, par, steering, obs, learning, nn, analysis >= 80%) =="
 go test -cover ./internal/faults/ ./internal/par/ ./internal/steering/ \
-    ./internal/obs/ ./internal/learning/ ./internal/nn/ > /tmp/steerq-cover.$$
+    ./internal/obs/ ./internal/learning/ ./internal/nn/ ./internal/analysis/ > /tmp/steerq-cover.$$
 cat /tmp/steerq-cover.$$
 awk '
     /coverage:/ {
@@ -98,6 +112,16 @@ diff -u cmd/steerq/testdata/ci_metrics.golden.json /tmp/steerq-metrics.$$.json |
     exit 1
 }
 rm -f /tmp/steerq-metrics.$$.json
+
+echo "== perf stamp smoke (frozen clock) =="
+STEERQ_VCLOCK=1 go run ./cmd/steerq-bench -perf -scale 0.002 -m 10 \
+    -perf-out /tmp/steerq-perf.$$.json > /dev/null
+grep -q '"generated_unix": 0' /tmp/steerq-perf.$$.json || {
+    echo "perf smoke: report stamp not frozen under STEERQ_VCLOCK (wall-clock leak)" >&2
+    rm -f /tmp/steerq-perf.$$.json
+    exit 1
+}
+rm -f /tmp/steerq-perf.$$.json
 
 if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="

@@ -131,12 +131,15 @@ func realMain() int {
 		if !want(name) {
 			return
 		}
-		start := time.Now()
+		// steerq:allow-wallclock — -v progress timing goes to stderr only,
+		// never into report output, so the determinism contract is unaffected.
+		start := time.Now() // steerq:allow-wallclock — see above.
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "steerq-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		if *verbose {
+			// steerq:allow-wallclock — same stderr-only progress line as above.
 			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Fprintln(out)

@@ -232,7 +232,9 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 	snap := r.Obs().Snapshot()
 
 	rep := perfReport{
-		GeneratedUnix: time.Now().Unix(),
+		// ClockFromEnv keeps -perf reports reproducible: under STEERQ_VCLOCK
+		// the stamp is the frozen epoch (0), so CI can diff whole reports.
+		GeneratedUnix: obs.ClockFromEnv()().Unix(),
 		NumCPU:        runtime.NumCPU(),
 		Workload:      wl,
 		Jobs:          len(jobs),

@@ -1,55 +1,182 @@
 // Command steerq-lint type-checks the whole module and runs the steerq
 // static analyzers (see internal/analysis): rulecheck, exhaustiveswitch,
-// randcheck, panicfree and errwrap.
+// randcheck, panicfree, errwrap, detcheck, lockcheck, obslabels, ctxflow
+// and hotalloc.
 //
 // Usage:
 //
-//	steerq-lint [-list] [packages]
+//	steerq-lint [flags] [packages]
+//
+//	-format=text|json|sarif   output format (default text)
+//	-fix                      apply suggested fixes to the source tree
+//	-baseline=FILE            filter findings through a committed baseline;
+//	                          stale entries (matching nothing) are an error
+//	-update-baseline          rewrite the -baseline file to grandfather every
+//	                          current finding, and exit clean
+//	-config=FILE              driver configuration (default .steerqlint.json
+//	                          at the module root, when present)
+//	-workers=N                parallel parse fan-out (0 = $STEERQ_WORKERS or
+//	                          GOMAXPROCS)
+//	-list                     list the registered analyzers and exit
 //
 // The package arguments are accepted for command-line compatibility with
 // go vet style invocations ("steerq-lint ./...") but the tool always
-// analyzes the entire module rooted at the current directory. It prints one
-// "file:line:col: analyzer: message" line per finding and exits 1 when any
-// finding is reported, 2 on load errors.
+// analyzes the entire module rooted at -root (default: the current
+// directory). Exit status: 0 clean (warnings only), 1 on error-severity
+// findings or a stale baseline, 2 on load/configuration errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"steerq/internal/analysis"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the registered analyzers and exit")
-	root := flag.String("root", ".", "module root directory to analyze")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list           = flag.Bool("list", false, "list the registered analyzers and exit")
+		root           = flag.String("root", ".", "module root directory to analyze")
+		format         = flag.String("format", "text", "output format: text, json or sarif")
+		fix            = flag.Bool("fix", false, "apply suggested fixes to the source tree")
+		baselinePath   = flag.String("baseline", "", "baseline file filtering grandfathered findings")
+		updateBaseline = flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings")
+		configPath     = flag.String("config", "", "driver configuration file (default: .steerqlint.json at the module root)")
+		workers        = flag.Int("workers", 0, "parallel parse fan-out (0 = $STEERQ_WORKERS or GOMAXPROCS)")
+	)
 	flag.Parse()
 
-	if *list {
-		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-
-	loader, err := analysis.NewLoader(*root)
+	cfg, err := loadConfig(*root, *configPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+	all := analysis.Analyzers()
+	analyzers := cfg.Select(all)
+
+	if *list {
+		for _, a := range all {
+			state := cfg.Severity(a.Name)
+			if !cfg.Enabled(a.Name) {
+				state = "disabled"
+			}
+			fmt.Printf("%-18s [%s] %s\n", a.Name, state, a.Doc)
+		}
+		return 0
+	}
+
+	rootAbs, err := filepath.Abs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(rootAbs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+		return 2
+	}
+	loader.Workers = *workers
 	units, err := loader.LoadAll()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
-	diags := analysis.Run(units, analysis.Analyzers())
+	diags := analysis.Run(units, analyzers)
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "steerq-lint: -update-baseline requires -baseline")
+			return 2
+		}
+		if err := analysis.NewBaseline(rootAbs, diags).Write(*baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "steerq-lint: grandfathered %d finding(s) into %s\n", len(diags), *baselinePath)
+		return 0
+	}
+
+	suppressed := 0
+	var stale []analysis.BaselineEntry
+	if *baselinePath != "" {
+		bl, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+			return 2
+		}
+		diags, suppressed, stale = bl.Apply(rootAbs, diags)
+	}
+
+	if *fix {
+		n, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "steerq-lint: applied %d fix(es); re-run to verify\n", n)
+	}
+
+	switch *format {
+	case "text":
+		if err := analysis.WriteText(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+			return 2
+		}
+	case "json":
+		rep := analysis.NewReport(rootAbs, diags, cfg)
+		rep.Suppressed = suppressed
+		rep.Stale = stale
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := analysis.WriteSARIF(os.Stdout, rootAbs, diags, cfg, analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "steerq-lint: %v\n", err)
+			return 2
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "steerq-lint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
+	}
+
+	failing := 0
 	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		if cfg.Severity(d.Analyzer) == analysis.SeverityError {
+			failing++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "steerq-lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "steerq-lint: stale baseline entry: %s %s: %s (finding no longer fires; remove the entry)\n",
+			e.Analyzer, e.File, e.Message)
 	}
+	if failing > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "steerq-lint: %d finding(s), %d suppressed by baseline, %d stale baseline entr(ies)\n",
+			failing, suppressed, len(stale))
+		return 1
+	}
+	return 0
+}
+
+// loadConfig resolves the driver configuration: an explicit -config path
+// must exist; otherwise .steerqlint.json at the module root is used when
+// present, and a nil config (all analyzers enabled at error severity)
+// otherwise.
+func loadConfig(root, explicit string) (*analysis.Config, error) {
+	path := explicit
+	if path == "" {
+		candidate := filepath.Join(root, analysis.ConfigFile)
+		if _, err := os.Stat(candidate); err != nil {
+			return nil, nil // no config: defaults
+		}
+		path = candidate
+	}
+	return analysis.LoadConfig(path)
 }

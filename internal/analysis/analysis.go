@@ -1,23 +1,26 @@
 // Package analysis is a stdlib-only static-analysis engine (go/ast +
 // go/types, no external dependencies) enforcing steerq's project invariants:
 // the 256-rule catalog census, exhaustive handling of plan enumerations,
-// deterministic randomness, panic-free library code, and wrapped errors at
-// package boundaries.
+// deterministic randomness, panic-free library code, wrapped errors at
+// package boundaries, and — because the repo's core claim is byte-identical
+// pipeline output at any worker count — determinism itself: no stray
+// wall-clock reads, no map-iteration order escaping into output, paired
+// mutexes, bounded metric labels, threaded contexts and allocation-lean hot
+// paths.
 //
 // The engine mirrors the shape of golang.org/x/tools/go/analysis at a much
 // smaller scale: a Loader type-checks the whole module from source, each
 // Analyzer runs a single pass over one type-checked unit, and diagnostics
-// carry exact file:line:column positions. The driver lives in
-// cmd/steerq-lint.
+// carry exact file:line:column positions plus optional machine-applicable
+// fixes. The driver lives in cmd/steerq-lint; output formats (text, JSON,
+// SARIF), the fix applier, the findings baseline and the .steerqlint.json
+// configuration live in this package so they are unit-testable.
 //
-// # Suppression pragma
+// # Suppression pragmas
 //
-// A statement may be exempted from panicfree by a comment containing the
-// token "steerq:allow-panic" on the same line or the line directly above,
-// together with a justification:
-//
-//	// steerq:allow-panic — mirrors slice indexing semantics.
-//	panic(fmt.Sprintf("bitvec: bit %d out of range", i))
+// See pragma.go for the full vocabulary (steerq:allow-panic,
+// steerq:allow-wallclock, steerq:hotpath). Line pragmas cover the comment's
+// line and the line directly below and should carry a justification.
 package analysis
 
 import (
@@ -29,15 +32,13 @@ import (
 	"strings"
 )
 
-// AllowPanicPragma is the comment token that exempts the next (or same) line
-// from the panicfree analyzer. It must be followed by a justification.
-const AllowPanicPragma = "steerq:allow-panic"
-
-// Diagnostic is one finding, positioned at a concrete file location.
+// Diagnostic is one finding, positioned at a concrete file location. A
+// diagnostic may carry suggested fixes that -fix can apply mechanically.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []Fix
 }
 
 func (d Diagnostic) String() string {
@@ -71,11 +72,33 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a diagnostic at pos carrying an optional suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	d := Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if fix != nil && len(fix.Edits) > 0 {
+		d.Fixes = []Fix{*fix}
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Edit converts a token.Pos range plus replacement text into a byte-offset
+// Edit against the position's file.
+func (p *Pass) Edit(pos, end token.Pos, newText string) Edit {
+	from := p.Fset.Position(pos)
+	to := p.Fset.Position(end)
+	return Edit{
+		Filename: from.Filename,
+		Start:    from.Offset,
+		End:      to.Offset,
+		NewText:  newText,
+	}
 }
 
 // LibraryPackage reports whether the pass's package is library code: inside
@@ -83,24 +106,6 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // modules are not library packages.
 func (p *Pass) LibraryPackage() bool {
 	return strings.HasPrefix(p.Pkg.Path(), p.ModulePath+"/internal/")
-}
-
-// allowedLines returns the set of file lines covered by an allow pragma: the
-// pragma's own line and the line below it, so the comment may sit on the
-// flagged line or directly above it.
-func allowedLines(fset *token.FileSet, f *ast.File, pragma string) map[int]bool {
-	lines := make(map[int]bool)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if !strings.Contains(c.Text, pragma) {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			lines[line] = true
-			lines[line+1] = true
-		}
-	}
-	return lines
 }
 
 // Analyzers returns every registered analyzer in a stable order.
@@ -111,6 +116,11 @@ func Analyzers() []*Analyzer {
 		RandCheck,
 		PanicFree,
 		ErrWrap,
+		DetCheck,
+		LockCheck,
+		ObsLabels,
+		CtxFlow,
+		HotAlloc,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

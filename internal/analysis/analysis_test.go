@@ -95,6 +95,30 @@ func TestRuleCheckFixture(t *testing.T) {
 	fixtureTest(t, RuleCheck, "steerq/internal/fixture/rulesbad", "rulesbad")
 }
 
+func TestDetCheckFixture(t *testing.T) {
+	fixtureTest(t, DetCheck, "steerq/internal/fixture/detbad", "detbad")
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	fixtureTest(t, LockCheck, "steerq/internal/fixture/lockbad", "lockbad")
+}
+
+func TestObsLabelsFixture(t *testing.T) {
+	fixtureTest(t, ObsLabels, "steerq/internal/fixture/obsbad", "obsbad")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	fixtureTest(t, CtxFlow, "steerq/internal/fixture/ctxbad", "ctxbad")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	fixtureTest(t, HotAlloc, "steerq/internal/fixture/hotbad", "hotbad")
+}
+
+func TestHotAllocNotOptedIn(t *testing.T) {
+	fixtureTest(t, HotAlloc, "steerq/internal/fixture/hotclean", "hotclean")
+}
+
 // TestRepoIsClean runs every analyzer over the whole module and expects zero
 // findings — the same gate ci.sh enforces via cmd/steerq-lint.
 func TestRepoIsClean(t *testing.T) {
@@ -132,7 +156,7 @@ func TestAllowedLines(t *testing.T) {
 		t.Fatalf("CheckFiles: %v", err)
 	}
 	var fset *token.FileSet = unit.Fset
-	lines := allowedLines(fset, unit.Files[0], AllowPanicPragma)
+	lines := pragmaLines(fset, unit.Files[0], AllowPanicPragma)
 	if len(lines) == 0 {
 		t.Fatal("no allowed lines found in fixture with two pragmas")
 	}

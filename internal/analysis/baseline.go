@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry identifies one grandfathered finding. Entries match on
+// analyzer, module-relative file path and exact message — never on line
+// numbers, so unrelated edits to the same file do not churn the baseline.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Justification documents why the finding is deliberate. Free text,
+	// required by convention (review enforces it), ignored by matching.
+	Justification string `json:"justification,omitempty"`
+}
+
+// Baseline is the committed set of grandfathered findings (lint-baseline.json).
+// A baseline is not a mute button: an entry that stops matching any current
+// finding is *stale* and fails the driver, so a fixed finding must be removed
+// from the baseline in the same change — grandfathered debt can only shrink.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and strictly decodes a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read baseline: %w", err)
+	}
+	var b Baseline
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("analysis: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline grandfathering every given finding, with
+// paths relativized against root. Used by the driver's -update-baseline.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	b := &Baseline{Entries: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write serializes the baseline to path as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("analysis: marshal baseline: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("analysis: write baseline: %w", err)
+	}
+	return nil
+}
+
+// Apply filters diags through the baseline: suppressed findings are removed
+// and returned as a count, and entries that matched nothing come back as
+// stale — the driver treats stale entries as an error so the baseline cannot
+// outlive the findings it grandfathers.
+func (b *Baseline) Apply(root string, diags []Diagnostic) (kept []Diagnostic, suppressed int, stale []BaselineEntry) {
+	if b == nil || len(b.Entries) == 0 {
+		return diags, 0, nil
+	}
+	matched := make([]bool, len(b.Entries))
+	for _, d := range diags {
+		rel := relPath(root, d.Pos.Filename)
+		hit := false
+		for i, e := range b.Entries {
+			if e.Analyzer == d.Analyzer && e.File == rel && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range b.Entries {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}
+
+// relPath renders filename relative to root with forward slashes, falling
+// back to the input when it is not under root.
+func relPath(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ConfigFile is the default driver configuration filename, looked up at the
+// module root.
+const ConfigFile = ".steerqlint.json"
+
+// Severity levels. Errors fail the driver's exit status; warnings are
+// reported (and appear in JSON/SARIF output at the corresponding level) but
+// do not fail the run.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
+// AnalyzerSetting is one analyzer's configuration.
+type AnalyzerSetting struct {
+	// Enabled turns the analyzer off when explicitly false. Absent means
+	// enabled.
+	Enabled *bool `json:"enabled,omitempty"`
+	// Severity is "error" (default) or "warning".
+	Severity string `json:"severity,omitempty"`
+}
+
+// Config is the parsed .steerqlint.json: per-analyzer enablement and
+// severity. The zero/nil Config enables everything at error severity.
+type Config struct {
+	Analyzers map[string]AnalyzerSetting `json:"analyzers"`
+}
+
+// LoadConfig reads and strictly validates a configuration file: unknown
+// fields, unknown analyzer names and unknown severities are all errors, so a
+// typo cannot silently disable a gate.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read config: %w", err)
+	}
+	var c Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("analysis: parse config %s: %w", path, err)
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	// Validate in sorted name order so the error reported for a config with
+	// several bad entries is deterministic (detcheck's map-range rule).
+	names := make([]string, 0, len(c.Analyzers))
+	for name := range c.Analyzers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !known[name] {
+			return nil, fmt.Errorf("analysis: config %s names unknown analyzer %q", path, name)
+		}
+		s := c.Analyzers[name]
+		switch s.Severity {
+		case "", SeverityError, SeverityWarning:
+		default:
+			return nil, fmt.Errorf("analysis: config %s: analyzer %q has unknown severity %q (want %q or %q)",
+				path, name, s.Severity, SeverityError, SeverityWarning)
+		}
+	}
+	return &c, nil
+}
+
+// Enabled reports whether the named analyzer is enabled.
+func (c *Config) Enabled(name string) bool {
+	if c == nil {
+		return true
+	}
+	s, ok := c.Analyzers[name]
+	if !ok || s.Enabled == nil {
+		return true
+	}
+	return *s.Enabled
+}
+
+// Severity returns the configured severity for the named analyzer
+// (SeverityError by default).
+func (c *Config) Severity(name string) string {
+	if c == nil {
+		return SeverityError
+	}
+	if s, ok := c.Analyzers[name]; ok && s.Severity != "" {
+		return s.Severity
+	}
+	return SeverityError
+}
+
+// Select filters the analyzer list down to the enabled ones.
+func (c *Config) Select(all []*Analyzer) []*Analyzer {
+	out := make([]*Analyzer, 0, len(all))
+	for _, a := range all {
+		if c.Enabled(a.Name) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixModule lays down a tiny self-contained module with exactly one
+// finding — a fixable detcheck slice escape — so driver output is pinnable
+// byte-for-byte and -fix has something mechanical to repair.
+func writeFixModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	gomod := "module fixmod\n\ngo 1.21\n"
+	src := `package fixmod
+
+import (
+	"fmt"
+)
+
+// Keys collects map keys without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Hello anchors the fmt import.
+func Hello() { fmt.Println("hi") }
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "det.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// loadFixModule type-checks the module with a fresh loader and runs detcheck.
+func loadFixModule(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	return Run(units, []*Analyzer{DetCheck})
+}
+
+const goldenJSON = `{
+  "tool": "steerq-lint",
+  "findings": [
+    {
+      "analyzer": "detcheck",
+      "severity": "error",
+      "file": "det.go",
+      "line": 11,
+      "column": 3,
+      "message": "map iteration order escapes into a slice without an intervening sort; iterate sorted keys or sort the result",
+      "fixable": true
+    }
+  ]
+}
+`
+
+const goldenSARIF = `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "steerq-lint",
+          "rules": [
+            {
+              "id": "detcheck",
+              "shortDescription": {
+                "text": "no wall-clock reads and no map-iteration order escaping into output, outside approved seams"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "detcheck",
+          "level": "error",
+          "message": {
+            "text": "map iteration order escapes into a slice without an intervening sort; iterate sorted keys or sort the result"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "det.go"
+                },
+                "region": {
+                  "startLine": 11,
+                  "startColumn": 3
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+
+// TestReportJSONGolden pins the -format=json byte layout the CI archive
+// depends on.
+func TestReportJSONGolden(t *testing.T) {
+	dir := writeFixModule(t)
+	diags := loadFixModule(t, dir)
+	rep := NewReport(dir, diags, nil)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if buf.String() != goldenJSON {
+		t.Errorf("JSON report drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), goldenJSON)
+	}
+}
+
+// TestSARIFGolden pins the -format=sarif byte layout, including the rule
+// catalog emitted for a clean run's coverage documentation.
+func TestSARIFGolden(t *testing.T) {
+	dir := writeFixModule(t)
+	diags := loadFixModule(t, dir)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, dir, diags, nil, []*Analyzer{DetCheck}); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if buf.String() != goldenSARIF {
+		t.Errorf("SARIF report drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), goldenSARIF)
+	}
+}
+
+// TestWriteText pins the human format: file:line:col: analyzer: message.
+func TestWriteText(t *testing.T) {
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Analyzer: "detcheck",
+		Message:  "boom",
+	}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "a.go:3:7: detcheck: boom\n"; got != want {
+		t.Errorf("WriteText = %q, want %q", got, want)
+	}
+}
+
+// TestApplyFixesIdempotent applies the suggested sort insertion and verifies
+// the repaired module is finding-free, gofmt-clean, and that a second -fix
+// pass is a no-op.
+func TestApplyFixesIdempotent(t *testing.T) {
+	dir := writeFixModule(t)
+	diags := loadFixModule(t, dir)
+	if len(diags) != 1 || len(diags[0].Fixes) != 1 {
+		t.Fatalf("want exactly one fixable finding, got %v", diags)
+	}
+	n, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("applied %d fixes, want 1", n)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "det.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "sort.Strings(out)") {
+		t.Errorf("fix did not insert sort call:\n%s", fixed)
+	}
+	if !strings.Contains(string(fixed), "\"sort\"") {
+		t.Errorf("fix did not add the sort import:\n%s", fixed)
+	}
+	// The repaired tree must be clean on a fresh load, so a re-run has
+	// nothing to apply: the idempotency contract of -fix.
+	again := loadFixModule(t, dir)
+	if len(again) != 0 {
+		t.Fatalf("repaired module still has findings: %v", again)
+	}
+	n2, err := ApplyFixes(again)
+	if err != nil || n2 != 0 {
+		t.Fatalf("second pass applied %d fixes (err %v), want 0", n2, err)
+	}
+}
+
+// TestApplyFixesOverlap rejects overlapping edits without touching the file.
+func TestApplyFixesOverlap(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f.go")
+	orig := []byte("package p\n")
+	if err := os.WriteFile(name, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{{
+		Analyzer: "x",
+		Fixes: []Fix{{
+			Message: "conflicting",
+			Edits: []Edit{
+				{Filename: name, Start: 0, End: 5, NewText: "a"},
+				{Filename: name, Start: 3, End: 7, NewText: "b"},
+			},
+		}},
+	}}
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Fatal("overlapping edits must error")
+	}
+	after, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, orig) {
+		t.Errorf("file modified despite overlap error: %q", after)
+	}
+}
+
+// TestApplyFixesDedup applies byte-identical edits (two findings suggesting
+// the same import insertion) exactly once.
+func TestApplyFixesDedup(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(name, []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edit := Edit{Filename: name, Start: 9, End: 9, NewText: "\n\nvar V = 1"}
+	diags := []Diagnostic{
+		{Analyzer: "x", Fixes: []Fix{{Message: "add V", Edits: []Edit{edit}}}},
+		{Analyzer: "y", Fixes: []Fix{{Message: "add V", Edits: []Edit{edit}}}},
+	}
+	if _, err := ApplyFixes(diags); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(after), "var V = 1"); got != 1 {
+		t.Errorf("identical edit applied %d times, want 1:\n%s", got, after)
+	}
+}
+
+// TestBaselineLifecycle covers the whole grandfather flow: build, write,
+// reload, suppress, and staleness when a grandfathered finding disappears.
+func TestBaselineLifecycle(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: filepath.Join(root, "b.go"), Line: 9}, Analyzer: "lockcheck", Message: "m2"},
+		{Pos: token.Position{Filename: filepath.Join(root, "a.go"), Line: 3}, Analyzer: "detcheck", Message: "m1"},
+	}
+	b := NewBaseline(root, diags)
+	if len(b.Entries) != 2 || b.Entries[0].File != "a.go" || b.Entries[1].File != "b.go" {
+		t.Fatalf("baseline not sorted by file: %+v", b.Entries)
+	}
+
+	path := filepath.Join(t.TempDir(), "lint-baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, suppressed, stale := loaded.Apply(root, diags)
+	if len(kept) != 0 || suppressed != 2 || len(stale) != 0 {
+		t.Errorf("full match: kept=%d suppressed=%d stale=%d, want 0/2/0", len(kept), suppressed, len(stale))
+	}
+
+	// One finding fixed: its entry is now stale and must be surfaced.
+	kept, suppressed, stale = loaded.Apply(root, diags[:1])
+	if len(kept) != 0 || suppressed != 1 || len(stale) != 1 || stale[0].Analyzer != "detcheck" {
+		t.Errorf("after fix: kept=%d suppressed=%d stale=%+v, want 0/1/[detcheck]", len(kept), suppressed, stale)
+	}
+
+	// A new finding passes through untouched.
+	fresh := Diagnostic{Pos: token.Position{Filename: filepath.Join(root, "c.go"), Line: 1}, Analyzer: "ctxflow", Message: "m3"}
+	kept, suppressed, stale = loaded.Apply(root, append(diags, fresh))
+	if len(kept) != 1 || kept[0].Analyzer != "ctxflow" || suppressed != 2 || len(stale) != 0 {
+		t.Errorf("new finding: kept=%v suppressed=%d stale=%d", kept, suppressed, len(stale))
+	}
+
+	// Nil and empty baselines are pass-through.
+	var nilB *Baseline
+	kept, suppressed, stale = nilB.Apply(root, diags)
+	if len(kept) != 2 || suppressed != 0 || len(stale) != 0 {
+		t.Errorf("nil baseline must pass findings through")
+	}
+}
+
+func TestLoadBaselineStrict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"entries": [], "extra": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("unknown field must fail strict decoding")
+	}
+}
+
+// TestConfig exercises .steerqlint.json parsing and the nil-config defaults.
+func TestConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ConfigFile)
+	body := `{"analyzers": {"hotalloc": {"enabled": false}, "errwrap": {"severity": "warning"}}}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatalf("LoadConfig: %v", err)
+	}
+	if cfg.Enabled("hotalloc") {
+		t.Error("hotalloc must be disabled")
+	}
+	if !cfg.Enabled("detcheck") {
+		t.Error("unlisted analyzers stay enabled")
+	}
+	if got := cfg.Severity("errwrap"); got != SeverityWarning {
+		t.Errorf("errwrap severity = %q, want warning", got)
+	}
+	if got := cfg.Severity("detcheck"); got != SeverityError {
+		t.Errorf("default severity = %q, want error", got)
+	}
+	if got := len(cfg.Select(Analyzers())); got != len(Analyzers())-1 {
+		t.Errorf("Select kept %d analyzers, want %d", got, len(Analyzers())-1)
+	}
+
+	var nilCfg *Config
+	if !nilCfg.Enabled("anything") || nilCfg.Severity("anything") != SeverityError {
+		t.Error("nil config must enable everything at error severity")
+	}
+	if got := len(nilCfg.Select(Analyzers())); got != len(Analyzers()) {
+		t.Errorf("nil Select kept %d, want all", got)
+	}
+}
+
+func TestConfigRejectsUnknowns(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"unknown analyzer": `{"analyzers": {"nosuch": {}}}`,
+		"bad severity":     `{"analyzers": {"detcheck": {"severity": "fatal"}}}`,
+		"unknown field":    `{"analysers": {}}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("%s: LoadConfig must fail", name)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the allocation discipline of opted-in hot-path packages
+// (PR 3 cut the serial pipeline leg from 1.48M to 702K allocs/op; this
+// analyzer keeps that from regressing one append at a time). A package opts
+// in by carrying the steerq:hotpath file pragma — cascades, plan and bitvec
+// do. Two shapes are flagged:
+//
+//   - a slice declared without capacity that is unconditionally appended to
+//     inside a range loop over a known-length operand: every growth step is
+//     a fresh allocation plus copy that make(T, 0, len(src)) removes;
+//   - string concatenation (+= or s = s + x) inside any loop, which
+//     allocates quadratically; strings.Builder or a byte slice is the
+//     replacement.
+//
+// The append rule only fires when the append is a direct child of the loop
+// body — conditionally filtered appends may legitimately stay small and are
+// left to judgment.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "hot-path packages (steerq:hotpath) must preallocate loop appends and avoid string concatenation in loops",
+	SkipTests: true,
+	Run:       runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	optedIn := false
+	for _, f := range pass.Files {
+		if hasFilePragma(f, HotPathPragma) {
+			optedIn = true
+			break
+		}
+	}
+	if !optedIn {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHotLoops(pass, fd.Body)
+		}
+	}
+}
+
+// checkHotLoops inspects one function body for the two hot-path shapes.
+func checkHotLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			checkGrowingAppend(pass, body, loop)
+			checkStringConcat(pass, loop.Body)
+		case *ast.ForStmt:
+			checkStringConcat(pass, loop.Body)
+		}
+		return true
+	})
+}
+
+// checkGrowingAppend flags `dest = append(dest, ...)` as a direct child of a
+// range-loop body when dest was declared without capacity and the ranged
+// operand has a known length.
+func checkGrowingAppend(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	opType := pass.Info.Types[rs.X].Type
+	if opType == nil || !lenKnown(opType) {
+		return
+	}
+	for _, st := range rs.Body.List {
+		assign, ok := st.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			continue
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || len(call.Args) < 2 {
+			continue
+		}
+		destID, ok := call.Args[0].(*ast.Ident)
+		if !ok || pass.Info.ObjectOf(destID) != pass.Info.ObjectOf(id) {
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || obj.Pos() >= rs.Pos() {
+			continue // declared inside the loop: grows afresh each iteration
+		}
+		if !declaredWithoutCap(pass, fnBody, obj) {
+			continue
+		}
+		pass.Reportf(assign.Pos(),
+			"append to %s grows inside a range loop over a known-length operand; preallocate with make(..., 0, len(...))",
+			id.Name)
+	}
+}
+
+// checkStringConcat flags string += / s = s + x anywhere inside a loop body
+// (excluding nested function literals).
+func checkStringConcat(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 {
+			return true
+		}
+		lhs := assign.Lhs[0]
+		if !isString(pass, lhs) {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN:
+			pass.Reportf(assign.Pos(), "string concatenation in a loop allocates quadratically; use strings.Builder or a byte slice")
+		case token.ASSIGN:
+			if bin, ok := assign.Rhs[0].(*ast.BinaryExpr); ok && bin.Op == token.ADD && sameObject(pass, lhs, bin.X) {
+				pass.Reportf(assign.Pos(), "string concatenation in a loop allocates quadratically; use strings.Builder or a byte slice")
+			}
+		}
+		return true
+	})
+}
+
+// declaredWithoutCap reports whether the slice object is declared in this
+// function as `var x []T`, `x := []T{}`, `x := []T(nil)` or
+// `x := make([]T, 0)` — every form that starts at capacity zero.
+func declaredWithoutCap(pass *Pass, fnBody *ast.BlockStmt, obj types.Object) bool {
+	result := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if pass.Info.ObjectOf(name) == obj {
+						result = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.Info.ObjectOf(id) != obj || i >= len(st.Rhs) {
+					continue
+				}
+				if zeroCapSliceExpr(pass, st.Rhs[i]) {
+					result = true
+				}
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// zeroCapSliceExpr recognizes []T{}, []T(nil) and make([]T, 0).
+func zeroCapSliceExpr(pass *Pass, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		t := pass.Info.Types[v].Type
+		if t == nil {
+			return false
+		}
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice && len(v.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(v.Args) == 2 {
+				tv := pass.Info.Types[v.Args[1]]
+				return tv.Value != nil && tv.Value.ExactString() == "0"
+			}
+		}
+		// []T(nil) conversion.
+		t := pass.Info.Types[v].Type
+		if t == nil {
+			return false
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); isSlice && len(v.Args) == 1 {
+			if id, ok := v.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lenKnown reports whether ranging over the type yields a cheaply derivable
+// length (slices, arrays, maps, strings — everything len() accepts).
+func lenKnown(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, isArray := u.Elem().Underlying().(*types.Array)
+		return isArray
+	}
+	return false
+}
+
+// sameObject reports whether two expressions are uses of the same object.
+func sameObject(pass *Pass, a, b ast.Expr) bool {
+	ai, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := b.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ao := pass.Info.ObjectOf(ai)
+	return ao != nil && ao == pass.Info.ObjectOf(bi)
+}

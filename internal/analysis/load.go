@@ -12,6 +12,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"steerq/internal/par"
 )
 
 // Unit is one type-checked analysis unit: a base package, its in-package
@@ -39,14 +42,31 @@ type Unit struct {
 // packages resolve from the source tree; standard-library imports resolve
 // through go/importer's source importer, so the loader needs no pre-built
 // export data and no external tooling.
+//
+// LoadAll parses every package directory concurrently through internal/par
+// (token.FileSet is safe for concurrent use; scheduling affects only file
+// base offsets, never reported positions) and then type-checks serially in
+// sorted directory order, so the unit list — and therefore every diagnostic —
+// is deterministic at any worker count.
 type Loader struct {
 	Root       string // module root directory (holds go.mod)
 	ModulePath string
 	Fset       *token.FileSet
+	// Workers bounds the parallel parse fan-out in LoadAll (0 resolves via
+	// par.Workers: $STEERQ_WORKERS, then GOMAXPROCS).
+	Workers int
 
 	std  types.Importer
 	base map[string]*Unit // import path -> checked base unit
 	busy map[string]bool  // import-cycle guard
+
+	parseMu sync.Mutex
+	parsed  map[string]parsedDir // dir -> parse results
+}
+
+// parsedDir caches one directory's parsed files, split non-test/test.
+type parsedDir struct {
+	base, tests []*ast.File
 }
 
 // NewLoader returns a loader for the module rooted at dir.
@@ -63,6 +83,7 @@ func NewLoader(root string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		base:       make(map[string]*Unit),
 		busy:       make(map[string]bool),
+		parsed:     make(map[string]parsedDir),
 	}, nil
 }
 
@@ -131,8 +152,28 @@ func (l *Loader) loadBase(path string) (*Unit, error) {
 	return u, nil
 }
 
-// parseDir parses a directory's Go files, split into non-test and test files.
+// parseDir parses a directory's Go files, split into non-test and test
+// files. Results are cached, and the cache is safe for the concurrent
+// pre-parse LoadAll runs.
 func (l *Loader) parseDir(dir string) (base, tests []*ast.File, err error) {
+	l.parseMu.Lock()
+	if p, ok := l.parsed[dir]; ok {
+		l.parseMu.Unlock()
+		return p.base, p.tests, nil
+	}
+	l.parseMu.Unlock()
+	base, tests, err = l.parseDirUncached(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.parseMu.Lock()
+	l.parsed[dir] = parsedDir{base: base, tests: tests}
+	l.parseMu.Unlock()
+	return base, tests, nil
+}
+
+// parseDirUncached does the actual parsing for parseDir.
+func (l *Loader) parseDirUncached(dir string) (base, tests []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("analysis: read dir: %w", err)
@@ -242,6 +283,15 @@ func (l *Loader) LoadAll() ([]*Unit, error) {
 		return nil, fmt.Errorf("analysis: walk module: %w", err)
 	}
 	sort.Strings(dirs)
+
+	// Pre-parse every directory concurrently; the error surfaced is the
+	// lowest-index failure, so even the failure mode is deterministic.
+	if err := par.ForEach(l.Workers, len(dirs), func(i int) error {
+		_, _, err := l.parseDir(dirs[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
 	var units []*Unit
 	for _, dir := range dirs {

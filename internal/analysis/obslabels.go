@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// ObsLabels is cardinality protection for the metrics plane (and the future
+// steerqd /metrics endpoint): every instrument registered against an
+// obs.Registry must have a compile-time-constant, well-formed name, constant
+// well-formed label keys, and label values that are not manufactured from
+// unbounded inputs via fmt.Sprintf/Sprint or strconv conversions — the two
+// idioms that turn a job ID or a float into a fresh timeseries per request.
+//
+// Checked calls: Registry.Counter / Gauge / GaugeFunc / Histogram and
+// obs.NewCounter. Label pairs forwarded with a `labels...` spread cannot be
+// inspected statically and are skipped — the analyzer checks the literal
+// pairs at whatever call site constructs them. The obs package itself is
+// exempt, exactly as internal/xrand is exempt from randcheck: it is the seam
+// that implements the discipline.
+var ObsLabels = &Analyzer{
+	Name: "obslabels",
+	Doc:  "metric names and label keys are constant and well-formed; label values are never built from unbounded inputs",
+	Run:  runObsLabels,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_:]*$`)
+	labelKeyRe   = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+func runObsLabels(pass *Pass) {
+	if pass.Pkg.Path() == pass.ModulePath+"/internal/obs" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := obsInstrumentCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, call.Args[0])
+			// Label varargs start after (name) for Counter/Gauge/NewCounter
+			// and after (name, bounds|fn) for Histogram/GaugeFunc.
+			labelStart := 1
+			if method == "Histogram" || method == "GaugeFunc" {
+				labelStart = 2
+			}
+			if len(call.Args) <= labelStart {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				return true // labels... spread: checked where the slice is built
+			}
+			for i, arg := range call.Args[labelStart:] {
+				if i%2 == 0 {
+					checkLabelKey(pass, arg)
+				} else {
+					checkLabelValue(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMetricName requires a constant name matching the exposition grammar.
+func checkMetricName(pass *Pass, arg ast.Expr) {
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "metric name is not a compile-time constant; dynamic names create unbounded metric families")
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q does not match %s", name, metricNameRe)
+	}
+}
+
+// checkLabelKey requires a constant key matching the label grammar.
+func checkLabelKey(pass *Pass, arg ast.Expr) {
+	key, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "metric label key is not a compile-time constant; dynamic keys create unbounded label dimensions")
+		return
+	}
+	if !labelKeyRe.MatchString(key) {
+		pass.Reportf(arg.Pos(), "metric label key %q does not match %s", key, labelKeyRe)
+	}
+}
+
+// checkLabelValue flags values manufactured from unbounded inputs. Constants,
+// enum String() methods and plain variables pass; direct fmt/strconv
+// conversions do not.
+func checkLabelValue(pass *Pass, arg ast.Expr) {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln":
+			pass.Reportf(arg.Pos(), "metric label value built with fmt.%s; formatted values explode cardinality — use a bounded enum or a histogram", fn.Name())
+		}
+	case "strconv":
+		pass.Reportf(arg.Pos(), "metric label value built with strconv.%s; numeric label values explode cardinality — use a bounded enum or a histogram", fn.Name())
+	}
+}
+
+// constString extracts a compile-time constant string value.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv := pass.Info.Types[e]
+	if tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

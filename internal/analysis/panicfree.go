@@ -21,7 +21,7 @@ func runPanicFree(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Files {
-		allowed := allowedLines(pass.Fset, f, AllowPanicPragma)
+		allowed := pragmaLines(pass.Fset, f, AllowPanicPragma)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

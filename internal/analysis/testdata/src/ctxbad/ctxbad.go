@@ -1,0 +1,69 @@
+// Package ctxbad seeds violations for the ctxflow analyzer.
+package ctxbad
+
+import "context"
+
+// worker stores a context in state.
+type worker struct {
+	ctx  context.Context // want "struct worker stores a context.Context"
+	name string
+}
+
+// clean threads contexts properly.
+type clean struct {
+	name string
+}
+
+// RunCtx is the well-formed shape: context first, propagated downward.
+func (c *clean) RunCtx(ctx context.Context, n int) error {
+	return stepCtx(ctx, n)
+}
+
+// BadSigCtx has the suffix but not the parameter.
+func BadSigCtx(n int) error { // want "BadSigCtx has the Ctx suffix but does not take context.Context as its first parameter"
+	return nil
+}
+
+// WrongOrderCtx takes a context, but not first.
+func WrongOrderCtx(n int, ctx context.Context) error { // want "does not take context.Context as its first parameter"
+	return stepCtx(ctx, n)
+}
+
+// stepCtx is a propagation target.
+func stepCtx(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// Detach re-roots even though a context is in scope.
+func Detach(ctx context.Context, n int) error {
+	return stepCtx(context.Background(), n) // want "propagate ctx instead of detaching"
+}
+
+// DetachTODO does the same with TODO.
+func DetachTODO(ctx context.Context, n int) error {
+	return stepCtx(context.TODO(), n) // want "propagate ctx instead of detaching"
+}
+
+// DetachInClosure inherits the outer context by capture.
+func DetachInClosure(ctx context.Context) func() error {
+	return func() error {
+		return stepCtx(context.Background(), 1) // want "propagate ctx instead of detaching"
+	}
+}
+
+// ShadowedClosure declares its own context parameter, which shadows the outer
+// one; propagating the inner one is what the analyzer asks for, so the only
+// finding is against the inner name.
+func ShadowedClosure(ctx context.Context) func(context.Context) error {
+	return func(inner context.Context) error {
+		return stepCtx(context.Background(), 2) // want "propagate inner instead of detaching"
+	}
+}
+
+// Run is the sanctioned wrapper: no context in scope, so minting a root is
+// exactly right.
+func (c *clean) Run(n int) error {
+	return c.RunCtx(context.Background(), n)
+}

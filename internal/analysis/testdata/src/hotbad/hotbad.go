@@ -1,0 +1,84 @@
+// Package hotbad seeds violations for the hotalloc analyzer.
+//
+// steerq:hotpath — fixture opt-in; without this pragma the analyzer skips
+// the package entirely (see hotclean).
+package hotbad
+
+import "strings"
+
+// GrowingAppend appends inside a range over a known-length operand with a
+// zero-capacity destination, in all three zero-cap declaration forms.
+func GrowingAppend(src []int) []int {
+	var out []int
+	for _, v := range src {
+		out = append(out, v*2) // want "append to out grows inside a range loop"
+	}
+	lit := []int{}
+	for _, v := range src {
+		lit = append(lit, v) // want "append to lit grows inside a range loop"
+	}
+	zero := make([]int, 0)
+	for _, v := range src {
+		zero = append(zero, v) // want "append to zero grows inside a range loop"
+	}
+	return append(append(out, lit...), zero...)
+}
+
+// Preallocated is the repaired shape.
+func Preallocated(src []int) []int {
+	out := make([]int, 0, len(src))
+	for _, v := range src {
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// FilteredAppend is conditional: legitimately small results are left to
+// judgment, so no finding.
+func FilteredAppend(src []int) []int {
+	var out []int
+	for _, v := range src {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// InnerDecl re-declares the slice each iteration: growth never compounds.
+func InnerDecl(src [][]int) int {
+	n := 0
+	for _, row := range src {
+		var tmp []int
+		tmp = append(tmp, row...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// StringConcat builds a string one += at a time.
+func StringConcat(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want "string concatenation in a loop"
+	}
+	return s
+}
+
+// StringConcatAssign uses the s = s + x spelling inside a for loop.
+func StringConcatAssign(parts []string) string {
+	s := ""
+	for i := 0; i < len(parts); i++ {
+		s = s + parts[i] // want "string concatenation in a loop"
+	}
+	return s
+}
+
+// BuilderConcat is the repaired shape.
+func BuilderConcat(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}

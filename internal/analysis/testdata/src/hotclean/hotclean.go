@@ -1,0 +1,21 @@
+// Package hotclean carries the same shapes as hotbad but no steerq:hotpath
+// pragma: the analyzer must not fire at all on packages that never opted in.
+package hotclean
+
+// GrowingAppend would be a finding in a hot-path package.
+func GrowingAppend(src []int) []int {
+	var out []int
+	for _, v := range src {
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// StringConcat would be a finding in a hot-path package.
+func StringConcat(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}

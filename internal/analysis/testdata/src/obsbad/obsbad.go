@@ -1,0 +1,37 @@
+// Package obsbad seeds violations for the obslabels analyzer.
+package obsbad
+
+import (
+	"fmt"
+	"strconv"
+
+	"steerq/internal/obs"
+)
+
+// Wire registers instruments in every way obslabels objects to.
+func Wire(reg *obs.Registry, job string, n int) {
+	// Clean registrations: constant names, constant keys, bounded values.
+	reg.Counter("obsbad_events_total", "kind", "ok").Inc()
+	reg.Gauge("obsbad_depth").Set(1)
+	reg.Histogram("obsbad_latency_seconds", []float64{0.1, 1}, "stage", "compile").Observe(0.2)
+	reg.GaugeFunc("obsbad_live", func() float64 { return 1 }, "stage", "exec")
+
+	name := "obsbad_" + job
+	reg.Counter(name).Inc()                   // want "metric name is not a compile-time constant"
+	reg.Counter("ObsBad_Total").Inc()         // want "does not match"
+	reg.Counter("obsbad_total", "Kind", "ok") // want "does not match"
+
+	key := "kind" + job
+	reg.Counter("obsbad_total", key, "ok") // want "metric label key is not a compile-time constant"
+
+	reg.Counter("obsbad_total", "job", fmt.Sprintf("%s-%d", job, n)) // want "built with fmt.Sprintf"
+	reg.Counter("obsbad_total", "size", strconv.Itoa(n))             // want "built with strconv.Itoa"
+	reg.Histogram("obsbad_h", []float64{1}, "job", fmt.Sprint(job))  // want "built with fmt.Sprint"
+	obs.NewCounter("also bad").Inc()                                 // want "does not match"
+}
+
+// Forward exercises the documented labels... skip: spreads are checked where
+// the slice is built, not here.
+func Forward(reg *obs.Registry, labels []string) {
+	reg.Counter("obsbad_fwd_total", labels...).Inc()
+}

@@ -9,6 +9,9 @@
 // Vectors are value types backed by a small fixed array so they can be used
 // as map keys after conversion with Key, hashed cheaply, and copied without
 // aliasing bugs.
+//
+// steerq:hotpath — signatures are hashed and compared per candidate; the
+// hotalloc analyzer guards this package against allocation regressions.
 package bitvec
 
 import (

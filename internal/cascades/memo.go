@@ -9,6 +9,9 @@
 // every expression*. The union of rule IDs along the derivation chain of the
 // final plan is the job's rule signature (Definition 3.2 of the paper), the
 // central abstraction of steerq.
+//
+// steerq:hotpath — compilation dominates the pipeline's cost; the hotalloc
+// analyzer guards this package against allocation regressions.
 package cascades
 
 import (

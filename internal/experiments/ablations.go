@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"steerq/internal/bitvec"
 	"steerq/internal/par"
@@ -271,6 +272,7 @@ func (r *Runner) Grouping(name string, days int) (*AblationGrouping, error) {
 	for _, n := range byTemplate {
 		tSizes = append(tSizes, n)
 	}
+	sort.Ints(tSizes)
 	out.TemplateMedian, out.TemplateMax = medianMax(tSizes)
 	var sSizes []int
 	for _, g := range groups {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"steerq/internal/bitvec"
+	"steerq/internal/cascades"
 	"steerq/internal/steering"
 	"steerq/internal/workload"
 	"steerq/internal/xrand"
@@ -235,7 +236,13 @@ func (r *Runner) Figure3(name string, day, sample int) (*Figure3, error) {
 		n++
 		byCat := steering.SpanByCategory(span, h.Opt.Rules)
 		total := 0
-		for cat, v := range byCat {
+		for _, cat := range []cascades.Category{
+			cascades.Required, cascades.OffByDefault, cascades.OnByDefault, cascades.Implementation,
+		} {
+			v, ok := byCat[cat]
+			if !ok {
+				continue
+			}
 			c := cat.String()
 			vals[c] = append(vals[c], float64(v.Count()))
 			total += v.Count()

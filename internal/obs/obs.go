@@ -44,7 +44,11 @@ import (
 // only wall-clock-dependent output) serialize identically on every run.
 type Clock func() time.Time
 
-// WallClock reads the real time.
+// WallClock reads the real time. This is the module's one approved raw
+// wall-clock seam: every other package threads a Clock obtained here or from
+// ClockFromEnv, and detcheck enforces that discipline.
+//
+// steerq:allow-wallclock — the approved seam itself.
 func WallClock() Clock { return time.Now }
 
 // FrozenClock always reads the zero instant: every span duration is exactly

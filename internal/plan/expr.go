@@ -7,6 +7,9 @@
 // hundreds of nodes (§3.1); both logical and physical plans here are DAGs —
 // an intermediate result bound to a script variable and consumed twice is
 // represented by a shared node.
+//
+// steerq:hotpath — plans are built and walked inside every compilation; the
+// hotalloc analyzer guards this package against allocation regressions.
 package plan
 
 import (

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -203,16 +204,8 @@ func (n *PhysNode) RuleIDs() []int {
 	for id := range set {
 		out = append(out, id)
 	}
-	sortInts(out)
+	sort.Ints(out)
 	return out
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // String renders the physical DAG with distributions, estimated rows and

@@ -42,17 +42,22 @@ func mirrorRobustness(reg *obs.Registry, d faults.Record) {
 	if reg == nil || d.IsZero() {
 		return
 	}
-	add := func(name, kind string, n int) {
+	retries := func(kind string, n int) {
 		if n > 0 {
-			reg.Counter(name, "kind", kind).Add(uint64(n))
+			reg.Counter("steerq_robustness_retries_total", "kind", kind).Add(uint64(n))
 		}
 	}
-	add("steerq_robustness_retries_total", "compile", d.CompileRetries)
-	add("steerq_robustness_retries_total", "exec", d.ExecRetries)
-	add("steerq_robustness_events_total", "timeout", d.Timeouts)
-	add("steerq_robustness_events_total", "corruption", d.Corruptions)
-	add("steerq_robustness_events_total", "fallback", d.Fallbacks)
-	add("steerq_robustness_events_total", "giveup", d.GiveUps)
+	events := func(kind string, n int) {
+		if n > 0 {
+			reg.Counter("steerq_robustness_events_total", "kind", kind).Add(uint64(n))
+		}
+	}
+	retries("compile", d.CompileRetries)
+	retries("exec", d.ExecRetries)
+	events("timeout", d.Timeouts)
+	events("corruption", d.Corruptions)
+	events("fallback", d.Fallbacks)
+	events("giveup", d.GiveUps)
 }
 
 // recordDelta returns after minus before, field by field. Backoff is a
