@@ -1,7 +1,7 @@
 # steerq development targets. `make ci` is the authoritative gate; the
 # other targets are the individual stages for quick local iteration.
 
-.PHONY: all build test race lint lint-fix vet fmt fuzz bench ci
+.PHONY: all build test race lint lint-fix vet fmt fuzz bench bench-compare ci
 
 all: build
 
@@ -39,6 +39,13 @@ fuzz:
 bench:
 	go test -run '^$$' -bench 'BenchmarkPipeline' -benchmem .
 	go run ./cmd/steerq-bench -perf -perf-out BENCH_pipeline.json
+
+# bench-compare diffs an older report against the current BENCH_pipeline.json
+# and exits nonzero on a regression past the thresholds. Usage:
+#   make bench-compare OLD=path/to/old/BENCH_pipeline.json
+OLD ?= BENCH_pipeline.json
+bench-compare:
+	go run ./cmd/steerq-bench -compare $(OLD) -perf-out BENCH_pipeline.json
 
 ci:
 	./ci.sh

@@ -37,10 +37,15 @@
 #                                frozen clock: the report's generated_unix
 #                                stamp must be 0, proving -perf reports are
 #                                reproducible end to end under STEERQ_VCLOCK
-#  13. short fuzz pass           30s total over the scopeql parser/binder,
+#  13. bench compare smoke       steerq-bench -compare self-diffs the stage-12
+#                                report (a report never regresses against
+#                                itself) and then must flag an injected 10x
+#                                serial regression — both the zero-delta and
+#                                the gate-trips paths are exercised
+#  14. short fuzz pass           30s total over the scopeql parser/binder,
 #                                including the parse-print-parse round trip
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 13 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 14 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -121,7 +126,23 @@ grep -q '"generated_unix": 0' /tmp/steerq-perf.$$.json || {
     rm -f /tmp/steerq-perf.$$.json
     exit 1
 }
-rm -f /tmp/steerq-perf.$$.json
+
+echo "== bench compare smoke =="
+# A report diffed against itself has zero deltas everywhere; the gate must
+# pass.
+go run ./cmd/steerq-bench -compare /tmp/steerq-perf.$$.json \
+    -perf-out /tmp/steerq-perf.$$.json > /dev/null
+# Shrink the old report's serial ns/op so the fresh report looks like a huge
+# regression; the gate must trip (exit nonzero).
+awk '!done && /"ns_per_op":/ { sub(/"ns_per_op": [0-9]+/, "\"ns_per_op\": 1"); done = 1 } { print }' \
+    /tmp/steerq-perf.$$.json > /tmp/steerq-perf-old.$$.json
+if go run ./cmd/steerq-bench -compare /tmp/steerq-perf-old.$$.json \
+    -perf-out /tmp/steerq-perf.$$.json > /dev/null 2>&1; then
+    echo "compare smoke: injected serial regression was not flagged" >&2
+    rm -f /tmp/steerq-perf.$$.json /tmp/steerq-perf-old.$$.json
+    exit 1
+fi
+rm -f /tmp/steerq-perf.$$.json /tmp/steerq-perf-old.$$.json
 
 if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="

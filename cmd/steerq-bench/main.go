@@ -8,6 +8,7 @@
 //
 //	steerq-bench [-scale 0.01] [-seed 2021] [-m 300] [-workers N] [-exp all|table1..table5|fig1..fig8|ablations|extensions] [-v]
 //	steerq-bench -perf [-perf-out BENCH_pipeline.json] [-workers 4] [-scale 0.01] [-m 300]
+//	steerq-bench -compare old.json [-perf-out new.json] [-compare-ns-threshold 10] [-compare-allocs-threshold 10]
 package main
 
 import (
@@ -39,6 +40,9 @@ func realMain() int {
 		expName    = flag.String("exp", "all", "experiment to run (all, table1..table5, fig1..fig8)")
 		perf       = flag.Bool("perf", false, "measure pipeline throughput instead of running experiments")
 		perfOut    = flag.String("perf-out", "BENCH_pipeline.json", "output path for the -perf JSON report")
+		compareOld = flag.String("compare", "", "diff this old BENCH_pipeline.json against -perf-out and exit nonzero on regression past the thresholds")
+		compareNs  = flag.Float64("compare-ns-threshold", 10.0, "with -compare, max tolerated ns/op regression in percent")
+		compareAl  = flag.Float64("compare-allocs-threshold", 10.0, "with -compare, max tolerated allocs/op regression in percent")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 		faultSeed  = flag.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
@@ -85,6 +89,14 @@ func realMain() int {
 				fmt.Fprintln(os.Stderr, "steerq-bench: -memprofile:", err)
 			}
 		}()
+	}
+
+	if *compareOld != "" {
+		if err := runCompare(*compareOld, *perfOut, *compareNs, *compareAl); err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *perf {

@@ -66,6 +66,25 @@ type perfCache struct {
 	Misses  uint64  `json:"misses"`
 	Entries int     `json:"entries"`
 	HitRate float64 `json:"hit_rate"`
+	// Projected counts hits found through footprint projection — the probing
+	// configuration differed from the writer's on rules the compile never
+	// consulted.
+	Projected     uint64  `json:"projected_hits"`
+	ProjectedRate float64 `json:"projected_hit_rate"`
+	Evictions     uint64  `json:"evictions"`
+}
+
+// perfFootprint reports how far footprint memoization collapsed the
+// candidate stage on a cold cache: of Candidates generated configurations
+// only Compiled went through the optimizer; the rest shared an equivalence
+// class representative's outcome.
+type perfFootprint struct {
+	Candidates  int     `json:"candidates"`
+	Classes     int     `json:"classes"`
+	Compiled    int     `json:"compiled"`
+	CacheSeeded int     `json:"cache_seeded"`
+	Avoided     int     `json:"compiles_avoided"`
+	AvoidedRate float64 `json:"avoided_rate"`
 }
 
 // perfReport is the full machine-readable benchmark record. Future PRs diff
@@ -82,6 +101,7 @@ type perfReport struct {
 	Compile       perfCompile   `json:"compile"`
 	Baseline      perfBaseline  `json:"baseline"`
 	Cache         perfCache     `json:"cache"`
+	Footprint     perfFootprint `json:"footprint"`
 	Obs           *obs.Snapshot `json:"obs,omitempty"`
 }
 
@@ -115,21 +135,28 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 	}
 	h := r.Harness(wl)
 
-	recompileAll := func(w int, cache *steering.CompileCache) error {
+	recompileAll := func(w int, cache *steering.CompileCache, stats *steering.FootprintStats) error {
 		p := steering.NewPipeline(h, xrand.New(seed).Derive("perf"))
 		p.MaxCandidates = m
 		p.Workers = w
 		p.Cache = cache
 		for _, j := range jobs {
-			if _, err := p.Recompile(j); err != nil {
+			a, err := p.Recompile(j)
+			if err != nil {
 				return fmt.Errorf("perf: recompile %s: %w", j.ID, err)
+			}
+			if stats != nil {
+				stats.Add(a.Footprint)
 			}
 		}
 		return nil
 	}
 	// Warm up once so lazily built state (catalog statistics, day inputs)
-	// does not land inside the first measured iteration.
-	if err := recompileAll(1, nil); err != nil {
+	// does not land inside the first measured iteration; the pass doubles as
+	// the footprint-collapse census (cold cache, serial — the same work every
+	// measured iteration repeats).
+	var fpStats steering.FootprintStats
+	if err := recompileAll(1, nil, &fpStats); err != nil {
 		return err
 	}
 
@@ -138,7 +165,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if e := recompileAll(w, nil); e != nil && err == nil {
+				if e := recompileAll(w, nil, nil); e != nil && err == nil {
 					err = e
 				}
 			}
@@ -163,10 +190,14 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 	// worker goroutines can actually run concurrently. A single-core
 	// machine cannot produce a meaningful parallel measurement at all, so
 	// the leg is skipped there with a logged warning rather than recorded
-	// as a misleading ~1.0x.
+	// as a misleading ~1.0x — unless STEERQ_BENCH_FORCE_PARALLEL=1 asks for
+	// an oversubscribed run anyway (downstream tooling that diffs reports
+	// chokes on the all-zero fields a skip produces; an annotated
+	// oversubscribed number is the lesser evil).
+	force := os.Getenv("STEERQ_BENCH_FORCE_PARALLEL") == "1"
 	var parallel perfConfig
-	if runtime.NumCPU() < 2 {
-		note := fmt.Sprintf("skipped: single-core machine (NumCPU=1); parallel leg needs GOMAXPROCS >= %d schedulable cores", minParallelProcs)
+	if runtime.NumCPU() < 2 && !force {
+		note := fmt.Sprintf("skipped: single-core machine (NumCPU=1); parallel leg needs GOMAXPROCS >= %d schedulable cores; set STEERQ_BENCH_FORCE_PARALLEL=1 to run it oversubscribed", minParallelProcs)
 		fmt.Fprintf(os.Stderr, "steerq-bench: warning: %s\n", note)
 		parallel = perfConfig{
 			Workers:    workers,
@@ -185,6 +216,13 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		runtime.GOMAXPROCS(prev)
 		if err != nil {
 			return err
+		}
+		if procs > runtime.NumCPU() {
+			parallel.Note = fmt.Sprintf("oversubscribed: GOMAXPROCS=%d > NumCPU=%d; speedup is not a scaling measurement", procs, runtime.NumCPU())
+			if force && runtime.NumCPU() < 2 {
+				parallel.Note += " (STEERQ_BENCH_FORCE_PARALLEL=1)"
+			}
+			fmt.Fprintf(os.Stderr, "steerq-bench: warning: parallel leg %s\n", parallel.Note)
 		}
 	}
 
@@ -216,7 +254,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 	// the steady state of recurring-workload experiments.
 	cache := steering.NewCompileCache()
 	for pass := 0; pass < 2; pass++ {
-		if err := recompileAll(workers, cache); err != nil {
+		if err := recompileAll(workers, cache, nil); err != nil {
 			return err
 		}
 	}
@@ -244,12 +282,25 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		Compile:       compile,
 		Baseline:      baseline,
 		Cache: perfCache{
-			Hits:    st.Hits,
-			Misses:  st.Misses,
-			Entries: st.Entries,
-			HitRate: st.HitRate(),
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Entries:       st.Entries,
+			HitRate:       st.HitRate(),
+			Projected:     st.Projected,
+			ProjectedRate: st.ProjectedRate(),
+			Evictions:     st.Evictions,
+		},
+		Footprint: perfFootprint{
+			Candidates:  fpStats.Candidates,
+			Classes:     fpStats.Classes,
+			Compiled:    fpStats.Compiled,
+			CacheSeeded: fpStats.CacheSeeded,
+			Avoided:     fpStats.Avoided,
 		},
 		Obs: &snap,
+	}
+	if fpStats.Candidates > 0 {
+		rep.Footprint.AvoidedRate = float64(fpStats.Avoided) / float64(fpStats.Candidates)
 	}
 	if !parallel.Skipped && parallel.NsPerOp > 0 {
 		rep.Speedup = float64(serial.NsPerOp) / float64(parallel.NsPerOp)
@@ -275,8 +326,10 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		compile.Job, time.Duration(compile.NsPerCompile), compile.AllocsPerCompile, compile.BytesPerCompile)
 	fmt.Printf("  vs baseline: allocs -%.1f%%  bytes -%.1f%%  time -%.1f%%\n",
 		baseline.AllocReductionPct, baseline.BytesReductionPct, baseline.NsReductionPct)
-	fmt.Printf("  cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
-		st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
+	fmt.Printf("  footprint: %d candidates -> %d classes, %d compiled (%.0f%% compiles avoided)\n",
+		rep.Footprint.Candidates, rep.Footprint.Classes, rep.Footprint.Compiled, 100*rep.Footprint.AvoidedRate)
+	fmt.Printf("  cache: %d hits / %d misses (%.0f%% hit rate, %.0f%% projected, %d entries, %d evictions)\n",
+		st.Hits, st.Misses, 100*st.HitRate(), 100*st.ProjectedRate(), st.Entries, st.Evictions)
 	fmt.Printf("  wrote %s\n", outPath)
 	if metricsOut != "" {
 		if err := snap.WriteFile(metricsOut); err != nil {

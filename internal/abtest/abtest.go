@@ -25,6 +25,10 @@ import (
 type Trial struct {
 	Config    bitvec.Vector
 	Signature bitvec.Vector
+	// Footprint is the compile's decision footprint (see cascades.Result):
+	// the rule IDs whose enabled-bit the search read. Configurations
+	// agreeing on these bits produce this exact trial's plan.
+	Footprint bitvec.Vector
 	EstCost   float64
 	Metrics   exec.Metrics
 	// Err is non-nil when the job failed to compile under Config, or — with
@@ -164,6 +168,7 @@ func (h *Harness) RunConfigCtx(ctx context.Context, root *plan.Node, cfg bitvec.
 	t := Trial{
 		Config:    cfg,
 		Signature: res.Signature,
+		Footprint: res.Footprint,
 		EstCost:   res.Cost,
 		Metrics:   m,
 		Attempts:  cAttempts + eAttempts,

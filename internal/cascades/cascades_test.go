@@ -509,3 +509,72 @@ func TestValidateReturnsAllViolations(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimizeCostMatchesOptimize pins the plan-less compile to the full
+// one: across a spread of configurations — the default, single-bit
+// ablations of the default footprint, and uncompilable variants — both
+// paths must agree on outcome, cost, signature, footprint and memo
+// statistics, with OptimizeCost returning no plan.
+func TestOptimizeCostMatchesOptimize(t *testing.T) {
+	cat := testCatalog()
+	opt := newOpt(cat)
+	root := compile(t, cat, joinAggScript)
+	base := opt.Rules.DefaultConfig()
+	full, err := opt.Optimize(root, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	configs := []bitvec.Vector{base}
+	for _, id := range full.Footprint.Ones() {
+		c := base
+		c.Assign(id, !c.Get(id))
+		configs = append(configs, c)
+	}
+	// An uncompilable variant: no join implementation survives.
+	broken := base
+	for _, id := range []int{rules.IDHashJoinImpl1, rules.IDJoinImpl2, rules.IDMergeJoinImpl, rules.IDJoinToApplyIndex1} {
+		broken.Clear(id)
+	}
+	configs = append(configs, broken)
+
+	var noPlan, compiled int
+	for _, cfg := range configs {
+		want, werr := opt.Optimize(root, cfg)
+		got, gerr := opt.OptimizeCost(root, cfg)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("cfg %s: outcome diverged: Optimize err=%v, OptimizeCost err=%v", cfg.Hex(), werr, gerr)
+		}
+		if werr != nil {
+			if !errors.Is(werr, cascades.ErrNoPlan) {
+				t.Fatal(werr)
+			}
+			noPlan++
+			if !want.Footprint.Equal(got.Footprint) {
+				t.Fatalf("cfg %s: no-plan footprints diverged", cfg.Hex())
+			}
+			continue
+		}
+		compiled++
+		if got.Plan != nil {
+			t.Fatalf("cfg %s: OptimizeCost materialized a plan", cfg.Hex())
+		}
+		if want.Cost != got.Cost {
+			t.Fatalf("cfg %s: cost %v vs %v", cfg.Hex(), want.Cost, got.Cost)
+		}
+		if !want.Signature.Equal(got.Signature) {
+			t.Fatalf("cfg %s: signatures diverged: %s vs %s", cfg.Hex(), want.Signature.Hex(), got.Signature.Hex())
+		}
+		if !want.Footprint.Equal(got.Footprint) {
+			t.Fatalf("cfg %s: footprints diverged", cfg.Hex())
+		}
+		if want.Groups != got.Groups || want.Exprs != got.Exprs {
+			t.Fatalf("cfg %s: memo stats diverged: %d/%d vs %d/%d",
+				cfg.Hex(), want.Groups, want.Exprs, got.Groups, got.Exprs)
+		}
+	}
+	if compiled == 0 {
+		t.Fatal("no configuration compiled; the equivalence check is vacuous")
+	}
+	t.Logf("checked %d configs: %d compiled, %d no-plan", len(configs), compiled, noPlan)
+}

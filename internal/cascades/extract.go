@@ -65,6 +65,34 @@ func (s *search) extract(w *winner) (*plan.PhysNode, bitvec.Vector) {
 	return root, sig
 }
 
+// signature collects the rule signature of the winning pexpr tree without
+// materializing any plan nodes — the plan-less sibling of extract, used by
+// OptimizeCost. It visits each distinct pexpr exactly once, like extract's
+// built map, so the resulting bit vector is identical to the Signature an
+// extract of the same winner would report.
+func (s *search) signature(w *winner) bitvec.Vector {
+	var sig bitvec.Vector
+	seen := make(map[*pexpr]struct{})
+	var rec func(p *pexpr)
+	rec = func(p *pexpr) {
+		if _, ok := seen[p]; ok {
+			return
+		}
+		seen[p] = struct{}{}
+		if p.ruleID >= 0 {
+			sig.Set(p.ruleID)
+		}
+		if p.lexpr != nil {
+			sig = sig.Or(p.lexpr.Provenance)
+		}
+		for _, c := range p.children {
+			rec(c)
+		}
+	}
+	rec(w)
+	return sig
+}
+
 func copyPayload(dst *plan.PhysNode, src *plan.Node) {
 	dst.Table = src.Table
 	dst.Pred = src.Pred

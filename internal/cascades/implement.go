@@ -77,15 +77,16 @@ func makeDistKey(d plan.Distribution) distKey {
 }
 
 // newPexpr returns a zeroed candidate carved from the search's slab, so
-// candidate construction costs one heap allocation per chunk rather than one
-// per candidate. Slab entries live as long as the search, which outlives
-// every pexpr pointer handed out.
+// candidate construction costs at most one heap allocation per chunk —
+// usually zero, since chunks are recycled across compiles through the
+// searchScratch arena. Slab entries live as long as the search, which
+// outlives every pexpr pointer handed out.
 func (s *search) newPexpr() *pexpr {
 	// Fixed small chunks: waste is bounded by one partial tail per search,
 	// which measured strictly better on total bytes than geometric growth
 	// (doubling over-reserves roughly 2x the live size on average).
 	if len(s.pexprSlab) == 0 {
-		s.pexprSlab = make([]pexpr, 64)
+		s.pexprSlab = s.scratch.pexprChunk()
 	}
 	p := &s.pexprSlab[0]
 	s.pexprSlab = s.pexprSlab[1:]
@@ -101,11 +102,13 @@ func (s *search) childSlice(n int) []*pexpr {
 		return nil
 	}
 	if len(s.childPool) < n {
-		size := 256
-		if n > size {
-			size = n
+		if n > childChunkLen {
+			// Oversize request: one-off allocation outside the recycled
+			// arena (operator fan-ins this wide do not occur in practice).
+			s.childPool = make([]*pexpr, n)
+		} else {
+			s.childPool = s.scratch.childChunk()
 		}
-		s.childPool = make([]*pexpr, size)
 	}
 	c := s.childPool[:n:n]
 	s.childPool = s.childPool[n:]
@@ -116,6 +119,21 @@ func (s *search) oneChild(p *pexpr) []*pexpr {
 	c := s.childSlice(1)
 	c[0] = p
 	return c
+}
+
+// placeholderNode carves an enforcer payload placeholder (an OpSelect node
+// carrying only a schema) from the arena's node slab. Like every arena node
+// it never escapes the compile: extraction copies its (empty) payload slice
+// headers, never the struct.
+func (s *search) placeholderNode(schema []plan.Column) *plan.Node {
+	if len(s.nodeSlab) == 0 {
+		s.nodeSlab = s.scratch.nodeChunk()
+	}
+	n := &s.nodeSlab[0]
+	s.nodeSlab = s.nodeSlab[1:]
+	n.Op = plan.OpSelect
+	n.Schema = schema
+	return n
 }
 
 // optimizeGroup returns the cheapest physical plan for g delivering a
@@ -161,9 +179,9 @@ func (s *search) groupCandidates(g *Group) []*pexpr {
 	// expression count keeps the common case to a single allocation.
 	out := make([]*pexpr, 0, len(g.Exprs)*2)
 	for _, e := range g.Exprs {
-		for _, r := range s.o.Rules.Implements {
+		for _, r := range s.o.Rules.implementsFor(e.Node.Op) {
 			ri := r.Info()
-			if !s.o.Rules.enabled(ri, s.cfg) {
+			if !s.ruleEnabled(ri) {
 				continue
 			}
 			protos := r.Implement(e, s.m)
@@ -396,7 +414,7 @@ func (s *search) enforce(inner *pexpr, req plan.Distribution) *pexpr {
 	ex := s.newPexpr()
 	*ex = pexpr{
 		op:       plan.PhysExchange,
-		node:     &plan.Node{Op: plan.OpSelect, Schema: inner.node.Schema}, // payload placeholder
+		node:     s.placeholderNode(inner.node.Schema),
 		children: s.oneChild(inner),
 		ruleID:   s.o.EnforceExchangeID,
 		props:    inner.props,
@@ -475,7 +493,7 @@ func (s *search) wrapSort(inner *pexpr, g *Group) *pexpr {
 	srt := s.newPexpr()
 	*srt = pexpr{
 		op:       plan.PhysSort,
-		node:     &plan.Node{Op: plan.OpSelect, Schema: g.Schema},
+		node:     s.placeholderNode(g.Schema),
 		children: s.oneChild(inner),
 		ruleID:   s.o.EnforceSortID,
 		props:    inner.props,

@@ -106,12 +106,17 @@ type Memo struct {
 	byNode  map[*plan.Node]*Group
 	nextCol plan.ColumnID
 
-	// exprSlab and groupPool are chunked allocators for expressions and
-	// their child-group slices; propsBuf and schemaBuf are reusable
-	// scratch for deriveProps (read-only to the estimator). They cut the
-	// memo's per-expression heap allocations to one per chunk.
+	// exprSlab, groupSlab and groupPool are the active tails of the
+	// chunked allocators for expressions, group structs and child-group
+	// slices; propsBuf and schemaBuf are reusable scratch for deriveProps
+	// (read-only to the estimator). When the memo is built inside Optimize
+	// the chunks come from — and return to — the recycled searchScratch
+	// arena (see scratch.go); a standalone NewMemo allocates them fresh.
+	arena     *searchScratch
 	exprSlab  []MExpr
+	groupSlab []Group
 	groupPool []*Group
+	nodeSlab  []plan.Node
 	propsBuf  []cost.Props
 	schemaBuf [][]plan.Column
 
@@ -130,16 +135,35 @@ func NewMemo(root *plan.Node, est *cost.Estimator) *Memo {
 }
 
 func newMemo(root *plan.Node, est *cost.Estimator, legacy bool) *Memo {
+	return newMemoArena(root, est, legacy, nil)
+}
+
+// newMemoArena builds a memo whose slab chunks, interning maps and scratch
+// buffers come from sc when non-nil. The caller owns the arena's lifecycle:
+// it must not recycle sc before it is done with the memo and everything
+// extracted from it (see search.release).
+func newMemoArena(root *plan.Node, est *cost.Estimator, legacy bool, sc *searchScratch) *Memo {
 	m := &Memo{
 		est:        est,
-		byNode:     make(map[*plan.Node]*Group),
+		arena:      sc,
 		hashMask:   ^uint64(0),
 		legacy:     legacy,
 		ExprLimit:  10,
 		TotalLimit: 2048,
 	}
+	if sc != nil {
+		m.byNode = sc.byNode
+		m.Groups = sc.groups
+		m.scratch = sc.keyScratch
+		m.propsBuf = sc.memoProps
+		m.schemaBuf = sc.memoSchema
+	} else {
+		m.byNode = make(map[*plan.Node]*Group)
+	}
 	if legacy {
 		m.legacyIndex = make(map[string]*Group)
+	} else if sc != nil {
+		m.buckets = sc.buckets
 	} else {
 		m.buckets = make(map[uint64]*MExpr, 64)
 	}
@@ -204,18 +228,52 @@ func (m *Memo) insertExpr(e *MExpr, hash uint64) {
 	m.buckets[hash] = e
 }
 
-// newMExpr returns a zeroed expression carved from the memo's slab, one heap
-// allocation per chunk instead of one per expression.
+// newMExpr returns a zeroed expression carved from the memo's slab, at most
+// one heap allocation per chunk instead of one per expression — usually
+// zero, since arena-backed memos recycle chunks across compiles.
 func (m *Memo) newMExpr() *MExpr {
 	// Fixed small chunks: waste is bounded by one partial tail per memo,
 	// which measured strictly better on total bytes than geometric growth
 	// (doubling over-reserves roughly 2x the live size on average).
 	if len(m.exprSlab) == 0 {
-		m.exprSlab = make([]MExpr, 64)
+		if m.arena != nil {
+			m.exprSlab = m.arena.mexprChunk()
+		} else {
+			m.exprSlab = make([]MExpr, mexprChunkLen)
+		}
 	}
 	e := &m.exprSlab[0]
 	m.exprSlab = m.exprSlab[1:]
 	return e
+}
+
+// newGroup returns a fresh group with an empty winners map. Arena-backed
+// memos carve the struct from a recycled chunk and inherit the slot's
+// cleared winners map, so steady-state group creation allocates nothing.
+func (m *Memo) newGroup() *Group {
+	if m.arena == nil {
+		return &Group{winners: make(map[distKey]*winner)}
+	}
+	if len(m.groupSlab) == 0 {
+		m.groupSlab = m.arena.groupChunk()
+	}
+	g := &m.groupSlab[0]
+	m.groupSlab = m.groupSlab[1:]
+	if g.winners == nil {
+		g.winners = make(map[distKey]*winner)
+	}
+	return g
+}
+
+// exprsSeed returns the initial Exprs slice for a new group: length zero,
+// small capacity. Groups usually grow past one expression during
+// exploration; a little up-front capacity avoids the append regrowth on the
+// optimizer's hottest allocation site without over-reserving for leaves.
+func (m *Memo) exprsSeed() []*MExpr {
+	if m.arena != nil {
+		return m.arena.exprsSeed()
+	}
+	return make([]*MExpr, 0, exprsSeedCap)
 }
 
 // groupSlice carves an n-element child-group slice from a pooled backing
@@ -227,11 +285,15 @@ func (m *Memo) groupSlice(n int) []*Group {
 		return nil
 	}
 	if len(m.groupPool) < n {
-		size := 128
-		if n > size {
-			size = n
+		if m.arena != nil && n <= gsliceChunkLen {
+			m.groupPool = m.arena.gsliceChunk()
+		} else {
+			size := gsliceChunkLen
+			if n > size {
+				size = n
+			}
+			m.groupPool = make([]*Group, size)
 		}
-		m.groupPool = make([]*Group, size)
 	}
 	s := m.groupPool[:n:n]
 	m.groupPool = m.groupPool[n:]
@@ -248,19 +310,18 @@ func (m *Memo) groupForNode(n *plan.Node) *Group {
 	for i, c := range n.Children {
 		children[i] = m.groupForNode(c)
 	}
-	payload := shallow(n)
+	payload := m.shallow(n)
 	known, h, ok := m.lookupExpr(payload, children)
 	if ok {
 		m.byNode[n] = known
 		return known
 	}
-	g := &Group{ID: GroupID(len(m.Groups)), Schema: n.Schema, winners: make(map[distKey]*winner)}
+	g := m.newGroup()
+	g.ID = GroupID(len(m.Groups))
+	g.Schema = n.Schema
 	e := m.newMExpr()
 	*e = MExpr{Node: payload, Children: children, Group: g, RuleID: -1}
-	// Groups usually grow past one expression during exploration; a little
-	// up-front capacity avoids the append regrowth on the optimizer's
-	// hottest allocation site without over-reserving for leaf groups.
-	g.Exprs = append(make([]*MExpr, 0, 4), e)
+	g.Exprs = append(m.exprsSeed(), e)
 	g.Props = m.deriveProps(e)
 	m.Groups = append(m.Groups, g)
 	m.insertExpr(e, h)
@@ -274,6 +335,25 @@ func shallow(n *plan.Node) *plan.Node {
 	cp := *n
 	cp.Children = nil
 	return &cp
+}
+
+// shallow copies a node payload without children, carving the copy from the
+// arena when one is available. The copy is only ever reachable through
+// memo-scoped structures (MExpr.Node, pexpr.node): extraction copies payload
+// slice headers out of it but never the struct, so it recycles with the
+// arena.
+func (m *Memo) shallow(n *plan.Node) *plan.Node {
+	if m.arena == nil {
+		return shallow(n)
+	}
+	if len(m.nodeSlab) == 0 {
+		m.nodeSlab = m.arena.nodeChunk()
+	}
+	cp := &m.nodeSlab[0]
+	m.nodeSlab = m.nodeSlab[1:]
+	*cp = *n
+	cp.Children = nil
+	return cp
 }
 
 // Full reports whether the memo's exploration budget is exhausted.
@@ -342,8 +422,10 @@ func (m *Memo) intern(rn *RNode, target *Group, prov bitvec.Vector, ruleID int) 
 	}
 	g = target
 	if g == nil {
-		g = &Group{ID: GroupID(len(m.Groups)), Schema: rn.Node.Schema, winners: make(map[distKey]*winner)}
-		g.Exprs = make([]*MExpr, 0, 4)
+		g = m.newGroup()
+		g.ID = GroupID(len(m.Groups))
+		g.Schema = rn.Node.Schema
+		g.Exprs = m.exprsSeed()
 		m.Groups = append(m.Groups, g)
 	}
 	if len(g.Exprs) >= m.ExprLimit && target != nil {

@@ -85,6 +85,13 @@ type Result struct {
 	// Signature is the rule signature: the set of rules that directly
 	// contributed to Plan (Definition 3.2).
 	Signature bitvec.Vector
+	// Footprint is the decision footprint: the set of rule IDs whose
+	// enabled-bit was read during this compilation (a superset of
+	// Signature minus required rules). The search tree only ever branches
+	// on these reads, so two configurations agreeing on every footprint
+	// bit provably produce byte-identical results — the foundation of the
+	// steering layer's equivalence-class memoization.
+	Footprint bitvec.Vector
 	// Config echoes the configuration used.
 	Config bitvec.Vector
 	// Groups and Exprs report memo size for diagnostics.
@@ -106,10 +113,27 @@ var ErrNoPlan = errors.New("cascades: no physical plan under this rule configura
 // read-only after construction. The discovery pipeline relies on this to fan
 // candidate recompilations out across workers.
 func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error) {
+	return o.optimize(root, cfg, true)
+}
+
+// OptimizeCost is Optimize without plan materialization: the returned Result
+// carries the same Cost, Signature, Footprint and memo statistics as an
+// Optimize of the same inputs, but Plan is nil. Candidate sweeps that keep
+// only the costed verdict (the steering pipeline resolves hundreds of
+// configurations per job and discards every plan but the chosen one) use it
+// to skip building a physical node DAG nobody reads — per-candidate, that is
+// the single largest allocation of a compile. The search itself is
+// byte-identical to Optimize's; only the final extraction differs.
+func (o *Optimizer) OptimizeCost(root *plan.Node, cfg bitvec.Vector) (*Result, error) {
+	return o.optimize(root, cfg, false)
+}
+
+func (o *Optimizer) optimize(root *plan.Node, cfg bitvec.Vector, buildPlan bool) (*Result, error) {
 	if root == nil {
 		return nil, errors.New("cascades: nil plan")
 	}
-	m := newMemo(root, o.Est, o.LegacyIntern)
+	sc := scratchPool.Get().(*searchScratch)
+	m := newMemoArena(root, o.Est, o.LegacyIntern, sc)
 	if o.ExprLimit > 0 {
 		m.ExprLimit = o.ExprLimit
 	}
@@ -120,8 +144,14 @@ func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error
 		o:          o,
 		m:          m,
 		cfg:        cfg,
-		candidates: make(map[*Group][]*pexpr),
+		scratch:    sc,
+		candidates: sc.candidates,
+		propsBuf:   sc.propsBuf,
+		schemaBuf:  sc.schemaBuf,
 	}
+	// Recycle the arena once the winner (if any) has been extracted; the
+	// Result only references memo-owned payloads, never slab memory.
+	defer s.release()
 	s.explore()
 	w := s.optimizeGroup(m.Root, plan.Distribution{Kind: plan.DistAny})
 	o.om.collisions.Add(m.Collisions())
@@ -129,14 +159,29 @@ func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error
 	o.om.exprs.Observe(float64(m.TotalExprs()))
 	if w == nil {
 		o.om.noPlan.Inc()
-		return nil, fmt.Errorf("%w (root group %d)", ErrNoPlan, m.Root.ID)
+		// The no-plan verdict still carries the footprint: any other
+		// configuration agreeing on those bits fails identically, so
+		// callers can share the negative outcome across the class.
+		return &Result{
+			Footprint: s.footprint,
+			Config:    cfg,
+			Groups:    len(m.Groups),
+			Exprs:     m.TotalExprs(),
+		}, fmt.Errorf("%w (root group %d)", ErrNoPlan, m.Root.ID)
 	}
 	o.om.ok.Inc()
-	p, sig := s.extract(w)
+	var p *plan.PhysNode
+	var sig bitvec.Vector
+	if buildPlan {
+		p, sig = s.extract(w)
+	} else {
+		sig = s.signature(w)
+	}
 	return &Result{
 		Plan:      p,
 		Cost:      w.total,
 		Signature: sig,
+		Footprint: s.footprint,
 		Config:    cfg,
 		Groups:    len(m.Groups),
 		Exprs:     m.TotalExprs(),
@@ -148,15 +193,24 @@ type search struct {
 	o          *Optimizer
 	m          *Memo
 	cfg        bitvec.Vector
+	scratch    *searchScratch
 	candidates map[*Group][]*pexpr
 
-	// pexprSlab and childPool are chunked allocators for candidates and
-	// their child slices; propsBuf and schemaBuf are reusable scratch for
-	// DerivePropsFrom inputs (never retained by the estimator). Together
-	// they take the physical search's hottest allocation sites from one
-	// heap allocation per candidate to one per chunk.
+	// footprint accumulates the ID of every non-required rule whose
+	// enabled-bit the search read (see ruleEnabled). Configurations that
+	// agree on all footprint bits take the exact same path through
+	// explore/optimizeGroup and so produce identical plans.
+	footprint bitvec.Vector
+
+	// pexprSlab and childPool are the active tails of the scratch arena's
+	// chunked allocators for candidates and their child slices; propsBuf
+	// and schemaBuf are reusable scratch for DerivePropsFrom inputs (never
+	// retained by the estimator). Chunks come from — and return to — the
+	// recycled searchScratch, so steady-state compilation allocates near
+	// zero slab memory (see scratch.go for the ownership argument).
 	pexprSlab []pexpr
 	childPool []*pexpr
+	nodeSlab  []plan.Node
 	propsBuf  []cost.Props
 	schemaBuf [][]plan.Column
 }
@@ -175,9 +229,9 @@ func (s *search) explore() {
 			g := s.m.Groups[gi]
 			for ei := 0; ei < len(g.Exprs); ei++ {
 				e := g.Exprs[ei]
-				for _, r := range s.o.Rules.Transforms {
+				for _, r := range s.o.Rules.transformsFor(e.Node.Op) {
 					ri := r.Info()
-					if !s.o.Rules.enabled(ri, s.cfg) {
+					if !s.ruleEnabled(ri) {
 						continue
 					}
 					if e.firedRule(ri.ID) {
@@ -204,4 +258,17 @@ func (s *search) explore() {
 			return
 		}
 	}
+}
+
+// ruleEnabled reports whether a rule may fire under the search's
+// configuration, recording every configuration-bit read in the decision
+// footprint. Required rules ignore the configuration and leave no
+// footprint: they behave identically under every configuration, so they
+// cannot distinguish equivalence classes.
+func (s *search) ruleEnabled(ri RuleInfo) bool {
+	if ri.Category == Required {
+		return true
+	}
+	s.footprint.Set(ri.ID)
+	return s.cfg.Get(ri.ID)
 }

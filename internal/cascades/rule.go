@@ -2,6 +2,7 @@ package cascades
 
 import (
 	"fmt"
+	"sort"
 
 	"steerq/internal/bitvec"
 	"steerq/internal/plan"
@@ -87,12 +88,39 @@ type ImplementRule interface {
 	Implement(e *MExpr, m *Memo) []*PhysProto
 }
 
+// OpMatcher is an optional interface on rules that only ever match one
+// logical operator (every catalog rule opens with `if e.Node.Op != plan.OpX
+// { return nil }`). Declaring the operator lets the optimizer consult the
+// rule only on expressions it could match, which both skips the dead
+// Apply/Implement calls and keeps the decision footprint (the set of
+// enabled-bits actually read — see search.ruleEnabled) tight: a rule whose
+// operator never appears in the memo leaves no footprint bit, so more
+// configurations fall into the same equivalence class.
+//
+// The contract is strict: for any expression whose operator differs from
+// MatchOp(), Apply/Implement must return nil without side effects. Rules
+// that omit the interface are consulted on every expression, exactly as
+// before.
+type OpMatcher interface {
+	MatchOp() plan.Op
+}
+
 // RuleSet is the rule catalog handed to the optimizer.
 type RuleSet struct {
 	Transforms []TransformRule
 	Implements []ImplementRule
 
 	infos map[int]RuleInfo
+
+	// Per-operator projections of Transforms/Implements, built by
+	// NewRuleSet from the OpMatcher declarations. Each list preserves the
+	// catalog order and includes every rule that omits OpMatcher, so
+	// iterating a projection is behaviorally identical to iterating the
+	// full slice. The *Any lists serve operators no pinned rule matches.
+	transformsByOp map[plan.Op][]TransformRule
+	transformsAny  []TransformRule
+	implementsByOp map[plan.Op][]ImplementRule
+	implementsAny  []ImplementRule
 }
 
 // NewRuleSet assembles a rule set and verifies rule IDs are unique and in
@@ -124,7 +152,98 @@ func NewRuleSet(transforms []TransformRule, implements []ImplementRule, extra []
 			return nil, err
 		}
 	}
+	rs.indexByOp()
 	return rs, nil
+}
+
+// ruleOps collects the sorted set of operators pinned by OpMatcher rules in
+// a slice (sorted so the projection maps are built in a deterministic
+// order, though their content is order-independent either way).
+func ruleOps(match func(i int) (plan.Op, bool), n int) []plan.Op {
+	seen := make(map[plan.Op]bool, n)
+	ops := make([]plan.Op, 0, n)
+	for i := 0; i < n; i++ {
+		if op, ok := match(i); ok && !seen[op] {
+			seen[op] = true
+			ops = append(ops, op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// indexByOp builds the per-operator rule projections.
+func (rs *RuleSet) indexByOp() {
+	tOps := ruleOps(func(i int) (plan.Op, bool) {
+		m, ok := rs.Transforms[i].(OpMatcher)
+		if !ok {
+			return 0, false
+		}
+		return m.MatchOp(), true
+	}, len(rs.Transforms))
+	rs.transformsByOp = make(map[plan.Op][]TransformRule, len(tOps))
+	rs.transformsAny = make([]TransformRule, 0, len(rs.Transforms))
+	for _, r := range rs.Transforms {
+		if _, ok := r.(OpMatcher); !ok {
+			rs.transformsAny = append(rs.transformsAny, r)
+		}
+	}
+	for _, op := range tOps {
+		l := make([]TransformRule, 0, len(rs.Transforms))
+		for _, r := range rs.Transforms {
+			if m, ok := r.(OpMatcher); !ok || m.MatchOp() == op {
+				l = append(l, r)
+			}
+		}
+		rs.transformsByOp[op] = l
+	}
+	iOps := ruleOps(func(i int) (plan.Op, bool) {
+		m, ok := rs.Implements[i].(OpMatcher)
+		if !ok {
+			return 0, false
+		}
+		return m.MatchOp(), true
+	}, len(rs.Implements))
+	rs.implementsByOp = make(map[plan.Op][]ImplementRule, len(iOps))
+	rs.implementsAny = make([]ImplementRule, 0, len(rs.Implements))
+	for _, r := range rs.Implements {
+		if _, ok := r.(OpMatcher); !ok {
+			rs.implementsAny = append(rs.implementsAny, r)
+		}
+	}
+	for _, op := range iOps {
+		l := make([]ImplementRule, 0, len(rs.Implements))
+		for _, r := range rs.Implements {
+			if m, ok := r.(OpMatcher); !ok || m.MatchOp() == op {
+				l = append(l, r)
+			}
+		}
+		rs.implementsByOp[op] = l
+	}
+}
+
+// transformsFor returns the transforms worth consulting on an expression
+// with the given operator. Falls back to the full slice on rule sets built
+// as raw literals (tests) that never ran indexByOp.
+func (rs *RuleSet) transformsFor(op plan.Op) []TransformRule {
+	if rs.transformsByOp == nil {
+		return rs.Transforms
+	}
+	if l, ok := rs.transformsByOp[op]; ok {
+		return l
+	}
+	return rs.transformsAny
+}
+
+// implementsFor is transformsFor for implementation rules.
+func (rs *RuleSet) implementsFor(op plan.Op) []ImplementRule {
+	if rs.implementsByOp == nil {
+		return rs.Implements
+	}
+	if l, ok := rs.implementsByOp[op]; ok {
+		return l
+	}
+	return rs.implementsAny
 }
 
 // Info returns the metadata of a rule ID; ok is false for unknown IDs.
@@ -167,13 +286,4 @@ func (rs *RuleSet) NonRequiredIDs() []int {
 		}
 	}
 	return out
-}
-
-// enabled reports whether a rule may fire under cfg: required rules always
-// may; others follow their configuration bit.
-func (rs *RuleSet) enabled(ri RuleInfo, cfg bitvec.Vector) bool {
-	if ri.Category == Required {
-		return true
-	}
-	return cfg.Get(ri.ID)
 }

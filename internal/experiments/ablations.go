@@ -151,20 +151,37 @@ func (r *Runner) SpanSearch(name string, day, jobs, m int) (*AblationSpanSearch,
 		spanTried, spanOK, spanChanged, spanDistinct     int
 		naiveTried, naiveOK, naiveChanged, naiveDistinct int
 	}
+	// Candidates resolve through footprint equivalence classes: one compile
+	// per class, every other member shares its outcome (value-identical by
+	// the footprint soundness argument, so the tallies match a compile-all
+	// run bit for bit — only faster).
 	policy := func(job *workload.Job, def bitvec.Vector, span bitvec.Vector, r *xrand.Source) (tried, ok, changed, distinct int) {
 		sigs := map[bitvec.Key]bool{def.Key(): true}
+		var classes steering.FootprintClasses
 		for _, cfg := range steering.CandidateConfigs(span, h.Opt.Rules, m, r) {
 			tried++
-			res, err := h.Opt.Optimize(job.Root, cfg)
-			if err != nil {
+			v, hit := classes.Lookup(cfg)
+			if !hit {
+				res, err := h.Opt.Optimize(job.Root, cfg)
+				if err != nil {
+					if res != nil {
+						// No-plan verdicts carry footprints too; share them.
+						classes.Admit(cfg, steering.CompileValue{Footprint: res.Footprint})
+					}
+					continue
+				}
+				v = steering.CompileValue{Cost: res.Cost, Signature: res.Signature, Footprint: res.Footprint, OK: true}
+				classes.Admit(cfg, v)
+			}
+			if !v.OK {
 				continue
 			}
 			ok++
-			if !res.Signature.Equal(def) {
+			if !v.Signature.Equal(def) {
 				changed++
 			}
-			if !sigs[res.Signature.Key()] {
-				sigs[res.Signature.Key()] = true
+			if !sigs[v.Signature.Key()] {
+				sigs[v.Signature.Key()] = true
 				distinct++
 			}
 		}

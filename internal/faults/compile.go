@@ -29,14 +29,16 @@ func (in *Injector) CompileAttempt(ctx context.Context, tag string, attempt int,
 	case KindCorrupt:
 		res, err := compile()
 		if err != nil {
-			return nil, err
+			// Pass the optimizer's partial result (no-plan verdicts carry
+			// the decision footprint) through with the error.
+			return res, err
 		}
 		res.Plan = CorruptPlan(res.Plan, in.Rand(SiteCompile, tag, attempt))
 		return in.validated(res, tag, attempt)
 	}
 	res, err := compile()
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	return in.validated(res, tag, attempt)
 }

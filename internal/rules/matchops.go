@@ -1,0 +1,51 @@
+package rules
+
+import "steerq/internal/plan"
+
+// Every catalog rule opens with a single-operator guard (`if e.Node.Op !=
+// plan.OpX { return nil }`). The cascades.OpMatcher declarations below
+// surface that guard to the optimizer, which then consults each rule only on
+// expressions whose operator it could match. That prunes the dead
+// Apply/Implement calls from the explore/implement loops and — because a
+// skipped rule never has its enabled-bit read — keeps the compile's decision
+// footprint tight, so more configurations collapse into one equivalence
+// class in the steering layer.
+//
+// Each declaration must name exactly the operator its rule's guard checks;
+// TestMatchOpHonorsGuards probes every rule against every other operator to
+// keep the two in sync.
+
+func (r collapseSelects) MatchOp() plan.Op          { return plan.OpSelect }
+func (r selectOnProject) MatchOp() plan.Op          { return plan.OpSelect }
+func (r selectOnJoin) MatchOp() plan.Op             { return plan.OpSelect }
+func (r selectOnUnionAll) MatchOp() plan.Op         { return plan.OpSelect }
+func (r selectOnGroupBy) MatchOp() plan.Op          { return plan.OpSelect }
+func (r selectPredNormalized) MatchOp() plan.Op     { return plan.OpSelect }
+func (r selectOnTrue) MatchOp() plan.Op             { return plan.OpSelect }
+func (r selectIntoGet) MatchOp() plan.Op            { return plan.OpSelect }
+func (r selectSplitDisjunction) MatchOp() plan.Op   { return plan.OpSelect }
+func (r transitivePredicate) MatchOp() plan.Op      { return plan.OpSelect }
+func (r udoPredicateTransfer) MatchOp() plan.Op     { return plan.OpSelect }
+func (r joinCommute) MatchOp() plan.Op              { return plan.OpJoin }
+func (r joinAssoc) MatchOp() plan.Op                { return plan.OpJoin }
+func (r correlatedJoinOnUnionAll) MatchOp() plan.Op { return plan.OpJoin }
+func (r projectOnProject) MatchOp() plan.Op         { return plan.OpProject }
+func (r unionAllFlatten) MatchOp() plan.Op          { return plan.OpUnionAll }
+func (r processOnUnionAll) MatchOp() plan.Op        { return plan.OpProcess }
+func (r groupbyBelowUnionAll) MatchOp() plan.Op     { return plan.OpGroupBy }
+func (r groupbyOnJoin) MatchOp() plan.Op            { return plan.OpGroupBy }
+func (r groupbyOnProject) MatchOp() plan.Op         { return plan.OpGroupBy }
+func (r topOnUnionAll) MatchOp() plan.Op            { return plan.OpTop }
+func (r topOnProject) MatchOp() plan.Op             { return plan.OpTop }
+
+func (r getToRange) MatchOp() plan.Op       { return plan.OpGet }
+func (r selectToFilter) MatchOp() plan.Op   { return plan.OpSelect }
+func (r projectToCompute) MatchOp() plan.Op { return plan.OpProject }
+func (r buildOutput) MatchOp() plan.Op      { return plan.OpOutput }
+func (r buildMulti) MatchOp() plan.Op       { return plan.OpMulti }
+func (r joinImpl) MatchOp() plan.Op         { return plan.OpJoin }
+func (r aggImpl) MatchOp() plan.Op          { return plan.OpGroupBy }
+func (r unionImpl) MatchOp() plan.Op        { return plan.OpUnionAll }
+func (r processImpl) MatchOp() plan.Op      { return plan.OpProcess }
+func (r reduceImpl) MatchOp() plan.Op       { return plan.OpReduce }
+func (r topImpl) MatchOp() plan.Op          { return plan.OpTop }

@@ -1,0 +1,67 @@
+package rules
+
+import (
+	"testing"
+
+	"steerq/internal/cascades"
+	"steerq/internal/plan"
+)
+
+// allOps enumerates every logical operator.
+var allOps = []plan.Op{
+	plan.OpGet, plan.OpSelect, plan.OpProject, plan.OpJoin, plan.OpGroupBy,
+	plan.OpUnionAll, plan.OpProcess, plan.OpReduce, plan.OpTop, plan.OpOutput,
+	plan.OpMulti,
+}
+
+// TestMatchOpHonorsGuards keeps every MatchOp declaration in sync with its
+// rule's actual operator guard: for each rule declaring an OpMatcher, probing
+// it with an expression of any *other* operator must return nil. A rule whose
+// declared operator is wrong would be consulted on expressions it silently
+// rejects (harmless) but skipped on the one it matches — this test catches
+// the dangerous direction by construction: if the declared op were wrong, the
+// rule's guard would also reject the declared op under direct probing, which
+// the catalog's behavioral tests (smoke, transforms, golden experiments)
+// would see as a vanished rule. Here we pin the cheap invariant mechanically.
+func TestMatchOpHonorsGuards(t *testing.T) {
+	rs := Catalog()
+	probe := func(name string, match plan.Op, apply func(e *cascades.MExpr) int) {
+		for _, op := range allOps {
+			if op == match {
+				continue
+			}
+			e := &cascades.MExpr{Node: &plan.Node{Op: op}}
+			if n := apply(e); n != 0 {
+				t.Errorf("%s declares MatchOp %v but produced %d results on %v", name, match, n, op)
+			}
+		}
+	}
+
+	matchers := 0
+	for _, r := range rs.Transforms {
+		om, ok := r.(cascades.OpMatcher)
+		if !ok {
+			continue
+		}
+		matchers++
+		r := r
+		probe(r.Info().Name, om.MatchOp(), func(e *cascades.MExpr) int {
+			return len(r.Apply(e, nil))
+		})
+	}
+	for _, r := range rs.Implements {
+		om, ok := r.(cascades.OpMatcher)
+		if !ok {
+			continue
+		}
+		matchers++
+		r := r
+		probe(r.Info().Name, om.MatchOp(), func(e *cascades.MExpr) int {
+			return len(r.Implement(e, nil))
+		})
+	}
+	if matchers == 0 {
+		t.Fatal("no rule declares OpMatcher; the op prefilter is dead")
+	}
+	t.Logf("probed %d OpMatcher rules against %d operators each", matchers, len(allOps)-1)
+}

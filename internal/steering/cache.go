@@ -2,27 +2,27 @@ package steering
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"steerq/internal/bitvec"
 	"steerq/internal/obs"
 	"steerq/internal/workload"
 )
 
-// CompileKey identifies one (job instance, rule configuration) compilation.
+// JobFingerprint identifies one recurring job instance for caching.
 //
 // The production follow-up to the paper (QO-Advisor) keeps the recompilation
 // fan-out affordable by never compiling the same recurring input twice; this
-// key is how the reproduction gets the same effect. Template identifies the
-// recurring job structure, Instance fingerprints the day's bound constants
-// (recurring arrivals vary predicate literals, §3.1.1), and Inputs
-// fingerprints the set of streams read that day — together they pin exactly
-// the facts the estimated-statistics optimizer consumes, so a cached
+// fingerprint is how the reproduction gets the same effect. Template
+// identifies the recurring job structure, Instance fingerprints the day's
+// bound constants (recurring arrivals vary predicate literals, §3.1.1), and
+// Inputs fingerprints the set of streams read that day — together they pin
+// exactly the facts the estimated-statistics optimizer consumes, so a cached
 // {cost, signature} is bit-identical to recompiling.
-type CompileKey struct {
+type JobFingerprint struct {
 	Template uint64
 	Instance uint64
 	Inputs   uint64
-	Config   bitvec.Key
 }
 
 // CompileValue is the cached outcome of one compilation. Plans themselves are
@@ -32,49 +32,126 @@ type CompileKey struct {
 type CompileValue struct {
 	Cost      float64
 	Signature bitvec.Vector
+	// Footprint is the compile's decision footprint (cascades.Result): the
+	// rule IDs whose enabled-bit the search read. It doubles as the cache's
+	// index: entries are stored under the configuration *projected onto the
+	// footprint*, so any configuration agreeing on those bits — even one
+	// differing on irrelevant rules — finds the entry.
+	Footprint bitvec.Vector
 	// OK is false when the configuration did not compile (cascades.ErrNoPlan
 	// — the only per-configuration failure the optimizer produces). Failures
-	// are cached too: recurring jobs re-probe the same dead configurations.
+	// are cached too: recurring jobs re-probe the same dead configurations,
+	// and the footprint of a failed search is just as sharing-sound as a
+	// successful one's.
 	OK bool
 }
 
 // cacheShards is the fixed shard count. Power of two so the shard pick is a
 // mask; 64 shards keep lock contention negligible at any plausible worker
-// count.
+// count. Sharding is by job fingerprint alone, so all entries of one job —
+// and its eviction clock — live in one shard.
 const cacheShards = 64
 
+// footprintEntry holds every cached outcome sharing one decision footprint,
+// keyed by the writer configuration projected onto that footprint.
+type footprintEntry struct {
+	foot bitvec.Vector
+	vals map[bitvec.Key]*cacheSlot
+}
+
+// cacheSlot is one cached outcome plus its CLOCK bookkeeping.
+type cacheSlot struct {
+	val CompileValue
+	// writer is the full (unprojected) key of the configuration that wrote
+	// the entry; a lookup whose full key differs found the entry through
+	// footprint projection alone (counted as a projected hit).
+	writer bitvec.Key
+	// ref is the second-chance bit: set on every bounded-mode hit, cleared
+	// (instead of evicting) when the clock hand passes.
+	ref bool
+}
+
+// jobEntry indexes one job's footprint entries in insertion order. Lookups
+// scan the footprints oldest-first; compiles of one job read overlapping
+// rule sets, so the list stays short (often length one).
+type jobEntry struct {
+	foots []*footprintEntry
+}
+
+// ringSlot is one value's position on its shard's eviction clock.
+type ringSlot struct {
+	fp  JobFingerprint
+	fe  *footprintEntry
+	key bitvec.Key
+}
+
 type cacheShard struct {
-	mu sync.RWMutex
-	m  map[CompileKey]CompileValue
+	mu   sync.RWMutex
+	jobs map[JobFingerprint]*jobEntry
+	// ring orders the shard's value slots by insertion for the CLOCK hand.
+	ring []ringSlot
+	hand int
 }
 
 // Cache metric names. The cache always counts through *obs.Counter — a
-// standalone pair by default, registry-owned ones after SetObs — so reads
-// are atomic everywhere (the bespoke counters steerq-bench used to read are
-// gone) and wiring observability re-points rather than duplicates.
+// standalone set by default, registry-owned ones after SetObs — so reads
+// are atomic everywhere and wiring observability re-points rather than
+// duplicates.
 const (
-	cacheHitsMetric    = "steerq_cache_hits_total"
-	cacheMissesMetric  = "steerq_cache_misses_total"
-	cacheEntriesMetric = "steerq_cache_entries"
+	cacheHitsMetric      = "steerq_cache_hits_total"
+	cacheMissesMetric    = "steerq_cache_misses_total"
+	cacheEntriesMetric   = "steerq_cache_entries"
+	cacheProjHitsMetric  = "steerq_cache_projected_hits_total"
+	cacheEvictionsMetric = "steerq_cache_evictions_total"
 )
 
 // CompileCache is a sharded, concurrency-safe memo of compilation outcomes
-// keyed by CompileKey. A single cache is shared across days and experiments
-// of one workload; hit/miss counters feed the steerq-bench perf report.
+// indexed by (job fingerprint, footprint-projected configuration). A single
+// cache is shared across days and experiments of one workload; hit/miss/
+// projected-hit counters feed the steerq-bench perf report.
+//
+// Lookups project the probing configuration onto each stored footprint of
+// the job, so recurring templates hit even when the probing configuration
+// differs from the writer's on rules the compile never consulted. A hit
+// whose full configuration differs from the writer's is additionally
+// counted as a projected hit.
+//
+// With a positive capacity the cache is bounded: each shard runs a
+// second-chance CLOCK over its value slots in insertion order, and inserts
+// that push the global entry count past the capacity evict from the
+// inserting shard (a segmented clock — 64 independent hands, no global
+// ordering to contend on). Eviction order is deterministic whenever each
+// job's compiles are issued serially, which the pipeline guarantees: the
+// candidate stage's cache traffic is serial per job, and distinct jobs
+// occupy distinct shards.
 type CompileCache struct {
-	shards [cacheShards]cacheShard
-	hits   *obs.Counter
-	misses *obs.Counter
+	shards    [cacheShards]cacheShard
+	capacity  int
+	entries   atomic.Int64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	projected *obs.Counter
+	evictions *obs.Counter
 }
 
-// NewCompileCache returns an empty cache.
+// NewCompileCache returns an empty, unbounded cache.
 func NewCompileCache() *CompileCache {
+	return NewCompileCacheWithCapacity(0)
+}
+
+// NewCompileCacheWithCapacity returns an empty cache bounded to at most
+// capacity entries (0 means unbounded). Serving-scale workloads should
+// bound the cache: without it, churned templates accumulate forever.
+func NewCompileCacheWithCapacity(capacity int) *CompileCache {
 	c := &CompileCache{
-		hits:   obs.NewCounter(cacheHitsMetric),
-		misses: obs.NewCounter(cacheMissesMetric),
+		capacity:  capacity,
+		hits:      obs.NewCounter(cacheHitsMetric),
+		misses:    obs.NewCounter(cacheMissesMetric),
+		projected: obs.NewCounter(cacheProjHitsMetric),
+		evictions: obs.NewCounter(cacheEvictionsMetric),
 	}
 	for i := range c.shards {
-		c.shards[i].m = make(map[CompileKey]CompileValue)
+		c.shards[i].jobs = make(map[JobFingerprint]*jobEntry)
 	}
 	return c
 }
@@ -90,57 +167,173 @@ func (c *CompileCache) SetObs(reg *obs.Registry, labels ...string) {
 	}
 	hits := reg.Counter(cacheHitsMetric, labels...)
 	misses := reg.Counter(cacheMissesMetric, labels...)
+	projected := reg.Counter(cacheProjHitsMetric, labels...)
+	evictions := reg.Counter(cacheEvictionsMetric, labels...)
 	hits.Add(c.hits.Value())
 	misses.Add(c.misses.Value())
-	c.hits, c.misses = hits, misses
+	projected.Add(c.projected.Value())
+	evictions.Add(c.evictions.Value())
+	c.hits, c.misses, c.projected, c.evictions = hits, misses, projected, evictions
 	reg.GaugeFunc(cacheEntriesMetric, func() float64 {
-		return float64(c.Stats().Entries)
+		return float64(c.entries.Load())
 	}, labels...)
 }
 
-// shard maps a key to its shard by mixing the fingerprint words; the config
-// key's first word distinguishes the M candidate configurations of one job,
-// which would otherwise all land in one shard.
-func (c *CompileCache) shard(k CompileKey) *cacheShard {
-	h := k.Template ^ k.Instance*0x9e3779b97f4a7c15 ^ k.Inputs ^ k.Config[0]*0x85ebca6b ^ k.Config[1]
+// shard maps a job fingerprint to its shard.
+func (c *CompileCache) shard(fp JobFingerprint) *cacheShard {
+	h := fp.Template ^ fp.Instance*0x9e3779b97f4a7c15 ^ fp.Inputs*0x85ebca6b
 	return &c.shards[h%cacheShards]
 }
 
-// Get returns the cached value for k. The hit/miss counters are updated; a
-// nil receiver reports a miss, so call sites need no nil guards.
-func (c *CompileCache) Get(k CompileKey) (CompileValue, bool) {
+// lookup scans the job's footprint entries in insertion order for one whose
+// projection of cfg is present. mark sets the CLOCK reference bit (bounded
+// mode only — callers holding just the read lock must pass false).
+func (s *cacheShard) lookup(fp JobFingerprint, cfg bitvec.Vector, full bitvec.Key, mark bool) (CompileValue, bool, bool) {
+	je := s.jobs[fp]
+	if je == nil {
+		return CompileValue{}, false, false
+	}
+	for _, fe := range je.foots {
+		if slot, ok := fe.vals[cfg.And(fe.foot).Key()]; ok {
+			if mark {
+				slot.ref = true
+			}
+			return slot.val, true, slot.writer != full
+		}
+	}
+	return CompileValue{}, false, false
+}
+
+// Get returns the cached value for compiling the fingerprinted job under
+// cfg, matching by footprint projection. The hit/miss (and projected-hit)
+// counters are updated; a nil receiver reports a miss, so call sites need
+// no nil guards.
+func (c *CompileCache) Get(fp JobFingerprint, cfg bitvec.Vector) (CompileValue, bool) {
 	if c == nil {
 		return CompileValue{}, false
 	}
-	s := c.shard(k)
-	s.mu.RLock()
-	v, ok := s.m[k]
-	s.mu.RUnlock()
+	s := c.shard(fp)
+	full := cfg.Key()
+	var v CompileValue
+	var ok, projected bool
+	if c.capacity > 0 {
+		// Bounded mode writes the reference bit, so hits need the write
+		// lock. Contention stays negligible: per-job traffic is serial.
+		s.mu.Lock()
+		v, ok, projected = s.lookup(fp, cfg, full, true)
+		s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		v, ok, projected = s.lookup(fp, cfg, full, false)
+		s.mu.RUnlock()
+	}
 	if ok {
 		c.hits.Inc()
+		if projected {
+			c.projected.Inc()
+		}
 	} else {
 		c.misses.Inc()
 	}
 	return v, ok
 }
 
-// Put stores the value for k. Concurrent Puts of the same key are benign:
-// compilation is deterministic, so both writers carry identical values.
-func (c *CompileCache) Put(k CompileKey, v CompileValue) {
+// Put stores the outcome of compiling the fingerprinted job under cfg. The
+// entry is indexed by cfg projected onto v.Footprint. Concurrent Puts of
+// the same projection are benign: compilation is deterministic, so both
+// writers carry identical values. Inserts past the capacity evict.
+func (c *CompileCache) Put(fp JobFingerprint, cfg bitvec.Vector, v CompileValue) {
 	if c == nil {
 		return
 	}
-	s := c.shard(k)
+	s := c.shard(fp)
 	s.mu.Lock()
-	s.m[k] = v
+	je := s.jobs[fp]
+	if je == nil {
+		je = &jobEntry{}
+		s.jobs[fp] = je
+	}
+	var fe *footprintEntry
+	for _, f := range je.foots {
+		if f.foot.Equal(v.Footprint) {
+			fe = f
+			break
+		}
+	}
+	if fe == nil {
+		fe = &footprintEntry{foot: v.Footprint, vals: make(map[bitvec.Key]*cacheSlot)}
+		je.foots = append(je.foots, fe)
+	}
+	k := cfg.And(v.Footprint).Key()
+	if slot, ok := fe.vals[k]; ok {
+		slot.val = v // deterministic recompile of the same class; refresh
+		s.mu.Unlock()
+		return
+	}
+	fe.vals[k] = &cacheSlot{val: v, writer: cfg.Key()}
+	s.ring = append(s.ring, ringSlot{fp: fp, fe: fe, key: k})
+	n := c.entries.Add(1)
+	if c.capacity > 0 {
+		for ; n > int64(c.capacity); n-- {
+			s.evictLocked(c)
+		}
+	}
 	s.mu.Unlock()
+}
+
+// evictLocked removes one value slot from the shard by second-chance CLOCK:
+// the hand sweeps the insertion-ordered ring, clearing reference bits until
+// it finds a slot whose bit is already clear. Callers hold the write lock.
+func (s *cacheShard) evictLocked(c *CompileCache) {
+	for len(s.ring) > 0 {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		rs := s.ring[s.hand]
+		if slot := rs.fe.vals[rs.key]; slot != nil && slot.ref {
+			slot.ref = false
+			s.hand++
+			continue
+		}
+		delete(rs.fe.vals, rs.key)
+		s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
+		if len(rs.fe.vals) == 0 {
+			s.dropFootprint(rs.fp, rs.fe)
+		}
+		c.entries.Add(-1)
+		c.evictions.Inc()
+		return
+	}
+}
+
+// dropFootprint unlinks an emptied footprint entry from its job (and the
+// job itself once footprint-less) so churned templates do not accumulate
+// empty shells.
+func (s *cacheShard) dropFootprint(fp JobFingerprint, fe *footprintEntry) {
+	je := s.jobs[fp]
+	if je == nil {
+		return
+	}
+	foots := je.foots[:0]
+	for _, f := range je.foots {
+		if f != fe {
+			foots = append(foots, f)
+		}
+	}
+	je.foots = foots
+	if len(je.foots) == 0 {
+		delete(s.jobs, fp)
+	}
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits      uint64
+	Misses    uint64
+	Projected uint64
+	Evictions uint64
+	Entries   int
+	Capacity  int
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -152,33 +345,41 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// ProjectedRate returns the fraction of hits found through footprint
+// projection rather than an exact writer-configuration match.
+func (s CacheStats) ProjectedRate() float64 {
+	if s.Hits == 0 {
+		return 0
+	}
+	return float64(s.Projected) / float64(s.Hits)
+}
+
 // Stats snapshots the counters and entry count. Safe on a nil cache.
 func (c *CompileCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	st := CacheStats{Hits: c.hits.Value(), Misses: c.misses.Value()}
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.RLock()
-		st.Entries += len(s.m)
-		s.mu.RUnlock()
+	return CacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Projected: c.projected.Value(),
+		Evictions: c.evictions.Value(),
+		Entries:   int(c.entries.Load()),
+		Capacity:  c.capacity,
 	}
-	return st
 }
 
-// jobKey builds the cache key for compiling job under cfg, and reports
-// whether the job is cacheable at all. Ad-hoc jobs (e.g. scripts compiled by
-// the CLI) carry no fingerprints; caching them under an all-zero key would
-// alias every script onto one entry, so they bypass the cache.
-func jobKey(job *workload.Job, cfg bitvec.Vector) (CompileKey, bool) {
+// jobFingerprint extracts a job's cache fingerprint, and reports whether
+// the job is cacheable at all. Ad-hoc jobs (e.g. scripts compiled by the
+// CLI) carry no fingerprints; caching them under an all-zero fingerprint
+// would alias every script onto one entry, so they bypass the cache.
+func jobFingerprint(job *workload.Job) (JobFingerprint, bool) {
 	if job.TemplateHash == 0 && job.InstanceHash == 0 && job.InputsHash == 0 {
-		return CompileKey{}, false
+		return JobFingerprint{}, false
 	}
-	return CompileKey{
+	return JobFingerprint{
 		Template: job.TemplateHash,
 		Instance: job.InstanceHash,
 		Inputs:   job.InputsHash,
-		Config:   cfg.Key(),
 	}, true
 }

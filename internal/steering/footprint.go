@@ -1,0 +1,65 @@
+package steering
+
+import "steerq/internal/bitvec"
+
+// FootprintClasses partitions candidate configurations into rule-equivalence
+// classes by decision footprint.
+//
+// A compile's footprint (cascades.Result.Footprint) is the set of rule IDs
+// whose enabled-bit the search read. The search tree branches only on those
+// reads, so two configurations that agree on every footprint bit take the
+// exact same path through the optimizer and provably produce byte-identical
+// results — plan, cost, signature, even the footprint itself. The classifier
+// exploits this: once one representative of a class is compiled, every other
+// configuration projecting onto the same (footprint, projected-key) pair
+// shares the outcome without compiling.
+//
+// Classes are discovered in admission order and scanned in that order on
+// lookup, so resolution is deterministic regardless of how many workers
+// produced the admitted values. The zero value is ready to use; the struct
+// is not safe for concurrent mutation (the pipeline admits and looks up
+// serially).
+type FootprintClasses struct {
+	classes []footprintClass
+}
+
+type footprintClass struct {
+	foot bitvec.Vector
+	proj bitvec.Key
+	val  CompileValue
+}
+
+// Len returns the number of admitted classes.
+func (fc *FootprintClasses) Len() int { return len(fc.classes) }
+
+// Lookup returns the shared outcome of cfg's equivalence class, if one has
+// been admitted: the first class (in admission order) whose footprint
+// projection of cfg matches its representative's. An empty footprint
+// matches every configuration — correctly so: a compile that read no
+// enabled-bits behaves identically under all of them.
+func (fc *FootprintClasses) Lookup(cfg bitvec.Vector) (CompileValue, bool) {
+	for i := range fc.classes {
+		cl := &fc.classes[i]
+		if cfg.And(cl.foot).Key() == cl.proj {
+			return cl.val, true
+		}
+	}
+	return CompileValue{}, false
+}
+
+// Admit registers cfg's class with the outcome of compiling cfg, and
+// reports whether a new class was created. Admitting a configuration whose
+// class is already present is a no-op (compilation is deterministic, so the
+// value would be identical); this keeps Len an exact class count even when
+// one parallel batch compiles two configurations of the same class.
+func (fc *FootprintClasses) Admit(cfg bitvec.Vector, v CompileValue) bool {
+	proj := cfg.And(v.Footprint).Key()
+	for i := range fc.classes {
+		cl := &fc.classes[i]
+		if cl.foot.Equal(v.Footprint) && cl.proj == proj {
+			return false
+		}
+	}
+	fc.classes = append(fc.classes, footprintClass{foot: v.Footprint, proj: proj, val: v})
+	return true
+}

@@ -41,7 +41,9 @@ func (g *Grouper) DefaultSignature(job *workload.Job) (bitvec.Vector, error) {
 	if sig, ok := g.cache[job.InstanceHash]; ok {
 		return sig, nil
 	}
-	res, err := g.Harness.Opt.Optimize(job.Root, g.Harness.Opt.Rules.DefaultConfig())
+	// Only the signature is kept; the plan-less compile skips building a
+	// physical DAG that would be dropped on the next line.
+	res, err := g.Harness.Opt.OptimizeCost(job.Root, g.Harness.Opt.Rules.DefaultConfig())
 	if err != nil {
 		return bitvec.Vector{}, fmt.Errorf("steering: default signature of %s: %w", job.ID, err)
 	}
@@ -94,7 +96,7 @@ type Comparison struct {
 // members of the base job's group across days, §6.4) and compares against the
 // default execution. Jobs that fail to compile under cfg are skipped.
 func Extrapolate(h *abtest.Harness, cfg bitvec.Vector, jobs []*workload.Job) []Comparison {
-	var out []Comparison
+	out := make([]Comparison, 0, len(jobs))
 	for _, j := range jobs {
 		def := h.RunConfig(j.Root, h.Opt.Rules.DefaultConfig(), j.Day, j.ID+"/default")
 		if def.Err != nil {

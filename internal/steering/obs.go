@@ -1,25 +1,9 @@
 package steering
 
 import (
-	"errors"
-
-	"steerq/internal/cascades"
 	"steerq/internal/faults"
 	"steerq/internal/obs"
 )
-
-// candidateOutcome classifies one candidate recompilation for the
-// steerq_pipeline_candidates_total counter.
-func candidateOutcome(err error) string {
-	switch {
-	case err == nil:
-		return "compiled"
-	case errors.Is(err, cascades.ErrNoPlan):
-		return "noplan"
-	default:
-		return "faulted"
-	}
-}
 
 // trialOutcome classifies one executed alternative for the
 // steerq_pipeline_trials_total counter.

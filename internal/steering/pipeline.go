@@ -48,9 +48,42 @@ type Analysis struct {
 
 	// Robustness tallies the injected-fault handling this analysis needed:
 	// retries, timeouts, corrupted compiles and fallbacks. Always zero when
-	// injection is off. Accumulated serially in candidate-index order, so it
-	// is identical at any worker count.
+	// injection is off. Accumulated serially in batch order, so it is
+	// identical at any worker count.
 	Robustness faults.Record
+
+	// Footprint reports how far footprint memoization collapsed the
+	// candidate stage: of Candidates generated configurations, only
+	// Compiled went through the optimizer; the rest resolved against an
+	// equivalence class (Avoided), seeded either by a compile in this
+	// analysis or by a compile-cache hit (CacheSeeded).
+	Footprint FootprintStats
+}
+
+// FootprintStats summarizes the equivalence-class collapse of one candidate
+// stage (see FootprintClasses).
+type FootprintStats struct {
+	// Candidates is the number of candidate configurations generated.
+	Candidates int
+	// Classes is the number of distinct equivalence classes discovered.
+	Classes int
+	// Compiled is the number of candidates actually sent through the
+	// optimizer (including faulted attempts).
+	Compiled int
+	// CacheSeeded counts classes whose representative came from the
+	// compile cache rather than a fresh compile.
+	CacheSeeded int
+	// Avoided counts candidates resolved without compiling: class or cache.
+	Avoided int
+}
+
+// Add accumulates o into s (for workload-level reporting).
+func (s *FootprintStats) Add(o FootprintStats) {
+	s.Candidates += o.Candidates
+	s.Classes += o.Classes
+	s.Compiled += o.Compiled
+	s.CacheSeeded += o.CacheSeeded
+	s.Avoided += o.Avoided
 }
 
 // Pipeline is the offline discovery pipeline of §5–6: span computation,
@@ -175,78 +208,188 @@ func (p *Pipeline) recompileCtx(ctx context.Context, job *workload.Job) (*Analys
 		"noplan":   p.Obs.Counter("steerq_pipeline_candidates_total", "outcome", "noplan"),
 		"faulted":  p.Obs.Counter("steerq_pipeline_candidates_total", "outcome", "faulted"),
 	}
-	type slot struct {
-		c   Candidate
-		ok  bool
+	p.resolveCandidates(ctx, job, cfgs, a, candCounters)
+	p.Obs.Counter("steerq_pipeline_footprint_classes_total").Add(uint64(a.Footprint.Classes))
+	p.Obs.Counter("steerq_pipeline_compiles_avoided_total").Add(uint64(a.Footprint.Avoided))
+	return a, nil
+}
+
+// classBatch is how many unresolved candidates each discovery round
+// compiles in parallel. Fixed — never derived from Workers — so the class
+// discovery sequence, and with it every shared value and counter, is
+// byte-identical at any worker count. 16 keeps even an 8-worker pool busy
+// while bounding the compiles wasted on candidates that round N+1 would
+// have resolved against round N's classes.
+const classBatch = 16
+
+// resolveCandidates resolves every candidate configuration to a compile
+// outcome, compiling only one representative per footprint equivalence
+// class (see FootprintClasses). Rounds alternate a serial sweep — resolve
+// pending candidates against discovered classes, then against the compile
+// cache — with a parallel compile of the first classBatch still-unresolved
+// candidates, merged serially in batch order. All cache and class traffic
+// is serial, so outcomes, counters and eviction order are independent of
+// Workers.
+func (p *Pipeline) resolveCandidates(ctx context.Context, job *workload.Job, cfgs []bitvec.Vector, a *Analysis, candCounters map[string]*obs.Counter) {
+	a.Footprint.Candidates = len(cfgs)
+	fp, cacheable := jobFingerprint(job)
+	cacheable = cacheable && p.Cache != nil
+	var classes FootprintClasses
+	resolved := make([]Candidate, len(cfgs))
+	okFlags := make([]bool, len(cfgs))
+	record := func(i int, v CompileValue) {
+		if !v.OK {
+			candCounters["noplan"].Inc()
+			return
+		}
+		candCounters["compiled"].Inc()
+		resolved[i] = Candidate{Config: cfgs[i], EstCost: v.Cost, Signature: v.Signature}
+		okFlags[i] = true
+	}
+	type cslot struct {
+		v   CompileValue
+		err error
 		rec faults.Record
 	}
-	slots, _ := par.Map(p.Workers, cfgs, func(i int, cfg bitvec.Vector) (slot, error) {
-		var s slot
-		tag := fmt.Sprintf("%s/cand%d", job.ID, i)
-		v, cerr := p.compile(ctx, job, cfg, tag, &s.rec)
-		candCounters[candidateOutcome(cerr)].Inc()
-		if cerr != nil {
-			return s, nil // configurations that do not compile are expected
-		}
-		s.c = Candidate{Config: cfg, EstCost: v.Cost, Signature: v.Signature}
-		s.ok = true
-		return s, nil
-	})
-	a.Candidates = make([]Candidate, 0, len(slots))
-	for _, s := range slots {
-		if s.ok {
-			a.Candidates = append(a.Candidates, s.c)
-		}
-		a.Robustness.Add(s.rec)
+	pending := make([]int, len(cfgs))
+	for i := range pending {
+		pending[i] = i
 	}
-	return a, nil
+	for len(pending) > 0 {
+		// The sweep overwrites pending in place: the write index never
+		// passes the read index, and each round only keeps the tail.
+		unresolved := pending[:0]
+		for _, i := range pending {
+			if v, ok := classes.Lookup(cfgs[i]); ok {
+				a.Footprint.Avoided++
+				record(i, v)
+				continue
+			}
+			if cacheable {
+				if v, ok := p.Cache.Get(fp, cfgs[i]); ok {
+					if classes.Admit(cfgs[i], v) {
+						a.Footprint.Classes++
+						a.Footprint.CacheSeeded++
+					}
+					a.Footprint.Avoided++
+					record(i, v)
+					continue
+				}
+			}
+			unresolved = append(unresolved, i)
+		}
+		if len(unresolved) == 0 {
+			break
+		}
+		n := classBatch
+		if n > len(unresolved) {
+			n = len(unresolved)
+		}
+		batch := unresolved[:n]
+		slots, _ := par.Map(p.Workers, batch, func(_ int, i int) (cslot, error) {
+			var s cslot
+			tag := fmt.Sprintf("%s/cand%d", job.ID, i)
+			s.v, s.err = p.compileFresh(ctx, job, cfgs[i], tag, &s.rec)
+			return s, nil
+		})
+		for bi, s := range slots {
+			i := batch[bi]
+			a.Robustness.Add(s.rec)
+			a.Footprint.Compiled++
+			if s.err != nil && !errors.Is(s.err, cascades.ErrNoPlan) {
+				// Faulted compile: no footprint to trust, nothing shared.
+				candCounters["faulted"].Inc()
+				continue
+			}
+			if classes.Admit(cfgs[i], s.v) {
+				a.Footprint.Classes++
+			}
+			if cacheable {
+				p.Cache.Put(fp, cfgs[i], s.v)
+			}
+			record(i, s.v)
+		}
+		pending = unresolved[n:]
+	}
+	a.Candidates = make([]Candidate, 0, len(cfgs))
+	for i := range cfgs {
+		if okFlags[i] {
+			a.Candidates = append(a.Candidates, resolved[i])
+		}
+	}
 }
 
 // compile optimizes job under cfg through the cache, retrying injected
 // faults per the harness policy. Failed compilations surface as
 // cascades.ErrNoPlan exactly as from Optimize, whether fresh or cached;
-// fault-injected errors surface wrapped and are never cached.
+// fault-injected errors surface wrapped and are never cached. Serial
+// callers only (span probes): the cache traffic must stay ordered.
 func (p *Pipeline) compile(ctx context.Context, job *workload.Job, cfg bitvec.Vector, tag string, rec *faults.Record) (CompileValue, error) {
-	key, cacheable := jobKey(job, cfg)
+	fp, cacheable := jobFingerprint(job)
 	cacheable = cacheable && p.Cache != nil
 	if cacheable {
-		if v, ok := p.Cache.Get(key); ok {
+		if v, ok := p.Cache.Get(fp, cfg); ok {
 			if !v.OK {
-				return CompileValue{}, cascades.ErrNoPlan
+				return v, cascades.ErrNoPlan
 			}
 			return v, nil
 		}
 	}
+	v, err := p.compileFresh(ctx, job, cfg, tag, rec)
+	if err != nil {
+		// Only the optimizer's own no-plan verdict is negative-cached;
+		// injected failures, timeouts and corruption must not poison the
+		// cache for later (possibly fault-free) lookups.
+		if cacheable && errors.Is(err, cascades.ErrNoPlan) {
+			p.Cache.Put(fp, cfg, v)
+		}
+		return v, err
+	}
+	if cacheable {
+		p.Cache.Put(fp, cfg, v)
+	}
+	return v, nil
+}
+
+// compileFresh runs one cache-free compile of job under cfg, retrying
+// injected faults per the harness policy. On success the returned value
+// carries the compile's decision footprint; a genuine no-plan outcome
+// (cascades.ErrNoPlan) returns OK=false but still carries the footprint, so
+// negatives share across equivalence classes exactly like successes.
+func (p *Pipeline) compileFresh(ctx context.Context, job *workload.Job, cfg bitvec.Vector, tag string, rec *faults.Record) (CompileValue, error) {
 	h := p.Harness
 	pol := faults.PolicyOrDefault(h.Retry, h.Faults)
+	// Candidate resolution keeps only the costed verdict, so skip plan
+	// materialization — the compile's single largest allocation — unless
+	// fault injection is active: corruption and validation target the plan
+	// and must keep seeing one.
+	compile := h.Opt.OptimizeCost
+	if h.Faults.Active() {
+		compile = h.Opt.Optimize
+	}
 	var res *cascades.Result
 	_, err := pol.Do(ctx, faults.SiteCompile, h.Faults.RetryRand(faults.SiteCompile, tag), rec,
 		func(actx context.Context, attempt int) error {
 			ictx, cancel := par.ItemContext(actx, h.CompileTimeout)
 			defer cancel()
 			r, cerr := h.Faults.CompileAttempt(ictx, tag, attempt, func() (*cascades.Result, error) {
-				return h.Opt.Optimize(job.Root, cfg)
+				return compile(job.Root, cfg)
 			})
-			if cerr != nil {
-				return cerr
+			if r != nil {
+				// Optimize reports a result even for its no-plan verdict;
+				// capture it so the failing footprint survives the error.
+				res = r
 			}
-			res = r
-			return nil
+			return cerr
 		})
 	if err != nil {
-		// Only the optimizer's own no-plan verdict is negative-cached;
-		// injected failures, timeouts and corruption must not poison the
-		// cache for later (possibly fault-free) lookups.
-		if cacheable && errors.Is(err, cascades.ErrNoPlan) {
-			p.Cache.Put(key, CompileValue{OK: false})
+		v := CompileValue{}
+		if res != nil && errors.Is(err, cascades.ErrNoPlan) {
+			v.Footprint = res.Footprint
 		}
-		return CompileValue{}, err
+		return v, err
 	}
-	v := CompileValue{Cost: res.Cost, Signature: res.Signature, OK: true}
-	if cacheable {
-		p.Cache.Put(key, v)
-	}
-	return v, nil
+	return CompileValue{Cost: res.Cost, Signature: res.Signature, Footprint: res.Footprint, OK: true}, nil
 }
 
 // Execute selects the cheapest recompiled candidates (deduplicated by rule

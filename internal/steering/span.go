@@ -2,6 +2,10 @@
 // simulated SCOPE stack: rule signatures and job spans, randomized
 // configuration search, the offline discovery pipeline, RuleDiff, rule-
 // signature job groups and cross-day extrapolation.
+//
+// steerq:hotpath — the candidate stage touches the cache, the footprint
+// classifier and the selection loops once per candidate configuration; the
+// hotalloc analyzer guards the package against allocation regressions.
 package steering
 
 import (

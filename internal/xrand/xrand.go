@@ -22,9 +22,22 @@ type Source struct {
 	rng  *rand.Rand
 }
 
-// New returns a stream for the given root seed.
+// New returns a stream for the given root seed. The underlying generator is
+// materialized lazily on the first draw: a math/rand source is ~5KB of
+// seeding work, and many derived streams (retry jitter on operations that
+// never retry, for one) are constructed eagerly but never drawn from. The
+// sequence is identical either way — rand.NewSource(seed) at first draw is
+// exactly rand.NewSource(seed) at construction.
 func New(seed uint64) *Source {
-	return &Source{seed: seed, rng: rand.New(rand.NewSource(int64(seed)))}
+	return &Source{seed: seed}
+}
+
+// gen returns the stream's generator, seeding it on first use.
+func (s *Source) gen() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(int64(s.seed)))
+	}
+	return s.rng
 }
 
 // Derive returns a new independent stream whose seed is a hash of the parent
@@ -68,30 +81,34 @@ func (s *Source) ReseedDerived(dst *Source, path ...string) {
 		}
 	}
 	dst.seed = h
-	dst.rng.Seed(int64(h))
+	if dst.rng != nil {
+		dst.rng.Seed(int64(h))
+	}
+	// A dst that has never drawn has no generator yet; gen() will seed it
+	// from the updated seed on first use, which is the same sequence.
 }
 
 // Seed returns the stream's seed, useful for diagnostics.
 func (s *Source) Seed() uint64 { return s.seed }
 
 // Int63 returns a non-negative pseudo-random 63-bit integer.
-func (s *Source) Int63() int64 { return s.rng.Int63() }
+func (s *Source) Int63() int64 { return s.gen().Int63() }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
-func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+func (s *Source) Intn(n int) int { return s.gen().Intn(n) }
 
 // Float64 returns a uniform float64 in [0, 1).
-func (s *Source) Float64() float64 { return s.rng.Float64() }
+func (s *Source) Float64() float64 { return s.gen().Float64() }
 
 // Uniform returns a uniform float64 in [lo, hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.rng.Float64()
+	return lo + (hi-lo)*s.gen().Float64()
 }
 
 // Norm returns a normally distributed float64 with the given mean and
 // standard deviation.
 func (s *Source) Norm(mean, stddev float64) float64 {
-	return mean + stddev*s.rng.NormFloat64()
+	return mean + stddev*s.gen().NormFloat64()
 }
 
 // LogNormal returns a log-normally distributed float64 where the underlying
@@ -105,9 +122,9 @@ func (s *Source) LogNormal(mu, sigma float64) float64 {
 // Pareto returns a Pareto(xm, alpha) sample: heavy-tailed sizes for inputs
 // and skewed key frequencies.
 func (s *Source) Pareto(xm, alpha float64) float64 {
-	u := s.rng.Float64()
+	u := s.gen().Float64()
 	for u == 0 {
-		u = s.rng.Float64()
+		u = s.gen().Float64()
 	}
 	return xm / math.Pow(u, 1/alpha)
 }
@@ -122,7 +139,7 @@ func (s *Source) Zipf(n int, skew float64) int {
 	// Inverse-CDF sampling over the (truncated) harmonic weights.
 	// For the small n used here this is accurate and allocation-free
 	// besides being perfectly deterministic.
-	u := s.rng.Float64()
+	u := s.gen().Float64()
 	var total float64
 	for i := 1; i <= n; i++ {
 		total += 1 / math.Pow(float64(i), skew)
@@ -139,10 +156,10 @@ func (s *Source) Zipf(n int, skew float64) int {
 }
 
 // Bool returns true with probability p.
-func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+func (s *Source) Bool(p float64) bool { return s.gen().Float64() < p }
 
 // Perm returns a pseudo-random permutation of [0, n).
-func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+func (s *Source) Perm(n int) []int { return s.gen().Perm(n) }
 
 // PermInto writes a pseudo-random permutation of [0, n) into dst, growing it
 // only when capacity is short, and returns it. It consumes the stream with
@@ -158,7 +175,7 @@ func (s *Source) PermInto(dst []int, n int) []int {
 	// Intn draw — math/rand.Perm keeps it for stream compatibility, and so
 	// must we.
 	for i := 0; i < n; i++ {
-		j := s.rng.Intn(i + 1)
+		j := s.gen().Intn(i + 1)
 		dst[i] = dst[j]
 		dst[j] = i
 	}
@@ -166,7 +183,7 @@ func (s *Source) PermInto(dst []int, n int) []int {
 }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
-func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.gen().Shuffle(n, swap) }
 
 // Pick returns a uniformly chosen element index weighted by weights.
 // Weights must be non-negative; if all are zero it returns 0.
@@ -178,7 +195,7 @@ func (s *Source) Pick(weights []float64) int {
 	if total <= 0 {
 		return 0
 	}
-	target := s.rng.Float64() * total
+	target := s.gen().Float64() * total
 	var cum float64
 	for i, w := range weights {
 		cum += w
@@ -192,7 +209,7 @@ func (s *Source) Pick(weights []float64) int {
 // Sample returns k distinct indices uniformly drawn from [0, n) in random
 // order. If k >= n it returns a permutation of all n indices.
 func (s *Source) Sample(n, k int) []int {
-	p := s.rng.Perm(n)
+	p := s.gen().Perm(n)
 	if k > n {
 		k = n
 	}
