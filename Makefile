@@ -34,14 +34,17 @@ fuzz:
 	go test -fuzz=FuzzCompile -fuzztime=15s ./internal/scopeql/
 
 # bench runs the pipeline benchmarks and regenerates BENCH_pipeline.json
-# (ns/op, allocs/op, cache hit rate, serial-vs-parallel speedup on this
-# machine) so PRs carry a perf trajectory.
+# (ns/op, allocs/op, cache hit rate, serial-vs-parallel speedup, and the
+# workers-1/2/4/8 Zipf scaling sweep on this machine) so PRs carry a perf
+# trajectory. On machines with fewer cores than workers the parallel legs
+# are forced and annotated oversubscribed rather than skipped.
 bench:
 	go test -run '^$$' -bench 'BenchmarkPipeline' -benchmem .
-	go run ./cmd/steerq-bench -perf -perf-out BENCH_pipeline.json
+	STEERQ_BENCH_FORCE_PARALLEL=1 go run ./cmd/steerq-bench -perf -perf-out BENCH_pipeline.json
 
 # bench-compare diffs an older report against the current BENCH_pipeline.json
-# and exits nonzero on a regression past the thresholds. Usage:
+# and exits nonzero on a regression past the thresholds (ns/op, allocs/op,
+# and scaling-sweep speedup at the highest worker count). Usage:
 #   make bench-compare OLD=path/to/old/BENCH_pipeline.json
 OLD ?= BENCH_pipeline.json
 bench-compare:

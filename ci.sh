@@ -18,9 +18,10 @@
 #                                the worker pool on every run
 #   7. alloc regression          the compile allocation budget re-checked
 #                                under -race (testing.AllocsPerRun)
-#   8. bench smoke               the pipeline benchmark executed once
-#                                (-benchtime=1x) so a broken or pathologically
-#                                slow hot path fails CI, not the next perf run
+#   8. bench smoke               the serial and 4-worker pipeline benchmarks
+#                                executed once (-benchtime=1x) so a broken or
+#                                pathologically slow hot path fails CI, not
+#                                the next perf run
 #   9. coverage floor            go test -cover over the robustness- and
 #                                observability-critical packages (faults, par,
 #                                steering, obs, learning, nn) with an 80%
@@ -33,10 +34,15 @@
 #                                -metrics-out, diffed byte-for-byte against the
 #                                committed snapshot golden — metric drift and
 #                                nondeterminism both fail here
-#  12. perf stamp smoke          a tiny steerq-bench -perf run under the
-#                                frozen clock: the report's generated_unix
-#                                stamp must be 0, proving -perf reports are
-#                                reproducible end to end under STEERQ_VCLOCK
+#  12. perf stamp smoke          a tiny steerq-bench -perf -perf-quick run
+#                                under the frozen clock with
+#                                STEERQ_BENCH_FORCE_PARALLEL=1: the report's
+#                                generated_unix stamp must be 0 (reports are
+#                                reproducible under STEERQ_VCLOCK), the
+#                                parallel leg must be measured (never
+#                                skipped; oversubscribed runs are annotated,
+#                                not dropped), and the workers-1/2/4/8
+#                                scaling sweep must be present
 #  13. bench compare smoke       steerq-bench -compare self-diffs the stage-12
 #                                report (a report never regresses against
 #                                itself) and then must flag an injected 10x
@@ -80,8 +86,8 @@ STEERQ_WORKERS=4 STEERQ_CHECK_PLANS=1 go test -race ./internal/steering/ ./inter
 echo "== alloc regression (race) =="
 go test -race ./internal/rules/ -run TestCompileAllocationBudget -count=1
 
-echo "== bench smoke (1x) =="
-go test -run '^$' -bench BenchmarkPipelineWorkers1 -benchtime=1x -benchmem .
+echo "== bench smoke (1x, serial + 4 workers) =="
+go test -run '^$' -bench 'BenchmarkPipelineWorkers(1|4)$' -benchtime=1x -benchmem .
 
 echo "== coverage floor (faults, par, steering, obs, learning, nn, analysis >= 80%) =="
 go test -cover ./internal/faults/ ./internal/par/ ./internal/steering/ \
@@ -118,11 +124,22 @@ diff -u cmd/steerq/testdata/ci_metrics.golden.json /tmp/steerq-metrics.$$.json |
 }
 rm -f /tmp/steerq-metrics.$$.json
 
-echo "== perf stamp smoke (frozen clock) =="
-STEERQ_VCLOCK=1 go run ./cmd/steerq-bench -perf -scale 0.002 -m 10 \
+echo "== perf stamp smoke (frozen clock, forced parallel) =="
+STEERQ_VCLOCK=1 STEERQ_BENCH_FORCE_PARALLEL=1 go run ./cmd/steerq-bench \
+    -perf -perf-quick -scale 0.002 -m 10 \
     -perf-out /tmp/steerq-perf.$$.json > /dev/null
 grep -q '"generated_unix": 0' /tmp/steerq-perf.$$.json || {
     echo "perf smoke: report stamp not frozen under STEERQ_VCLOCK (wall-clock leak)" >&2
+    rm -f /tmp/steerq-perf.$$.json
+    exit 1
+}
+if grep -q '"skipped": true' /tmp/steerq-perf.$$.json; then
+    echo "perf smoke: a leg was skipped despite STEERQ_BENCH_FORCE_PARALLEL=1" >&2
+    rm -f /tmp/steerq-perf.$$.json
+    exit 1
+fi
+grep -q '"speedup_at_max"' /tmp/steerq-perf.$$.json || {
+    echo "perf smoke: report has no workers-1/2/4/8 scaling sweep" >&2
     rm -f /tmp/steerq-perf.$$.json
     exit 1
 }

@@ -8,13 +8,17 @@ import (
 )
 
 // runCompare diffs two BENCH_pipeline.json reports (old vs new) and fails
-// when the new serial leg, parallel leg, or single-compile section regressed
-// past the thresholds: nsPct percent on ns/op and allocsPct percent on
-// allocs/op. Improvements and regressions inside the tolerance print as
-// deltas; anything past a threshold prints as REGRESSION and makes the
-// function return an error, so `steerq-bench -compare old.json` works as a
-// CI gate around `make bench`.
-func runCompare(oldPath, newPath string, nsPct, allocsPct float64) error {
+// when the new serial leg, parallel leg, single-compile section, or scaling
+// sweep regressed past the thresholds: nsPct percent on ns/op, allocsPct
+// percent on allocs/op, and speedupPct percent on the scaling sweep's
+// speedup at the highest worker count. Improvements and regressions inside
+// the tolerance print as deltas; anything past a threshold prints as
+// REGRESSION and makes the function return an error, so
+// `steerq-bench -compare old.json` works as a CI gate around `make bench`.
+// The speedup gate is skipped when either sweep is oversubscribed (more
+// workers than cores) — those numbers are recorded for continuity, not
+// scaling claims — or when either report predates the scaling section.
+func runCompare(oldPath, newPath string, nsPct, allocsPct, speedupPct float64) error {
 	oldRep, err := readReport(oldPath)
 	if err != nil {
 		return err
@@ -48,6 +52,7 @@ func runCompare(oldPath, newPath string, nsPct, allocsPct float64) error {
 	regressions = append(regressions, diffLeg("compile",
 		oldRep.Compile.NsPerCompile, newRep.Compile.NsPerCompile,
 		oldRep.Compile.AllocsPerCompile, newRep.Compile.AllocsPerCompile, nsPct, allocsPct)...)
+	regressions = append(regressions, diffScaling(oldRep.Scaling, newRep.Scaling, speedupPct)...)
 
 	if len(regressions) > 0 {
 		return fmt.Errorf("compare: %d regression(s) past threshold", len(regressions))
@@ -75,6 +80,46 @@ func diffLeg(name string, oldNs, newNs, oldAllocs, newAllocs int64, nsPct, alloc
 		bad = append(bad, msg)
 	}
 	return bad
+}
+
+// diffScaling gates the scaling sweep's speedup at the highest worker count:
+// a drop of more than speedupPct percent is a regression. Sweeps that are
+// missing (old-format reports), empty, or oversubscribed print a note and
+// pass — an oversubscribed "speedup" measures scheduler overhead under
+// contention, not scaling, so gating on it would flap.
+func diffScaling(o, n *perfScaling, speedupPct float64) []string {
+	switch {
+	case o == nil && n == nil:
+		return nil
+	case o == nil || n == nil:
+		why := "old"
+		if n == nil {
+			why = "new"
+		}
+		fmt.Printf("  scaling  skipped (%s report has no scaling sweep)\n", why)
+		return nil
+	case len(o.Legs) == 0 || len(n.Legs) == 0:
+		fmt.Printf("  scaling  skipped (empty sweep)\n")
+		return nil
+	}
+	oldMax, newMax := o.Legs[len(o.Legs)-1], n.Legs[len(n.Legs)-1]
+	drop := 0.0
+	if o.SpeedupAtMax > 0 {
+		drop = 100 * (1 - n.SpeedupAtMax/o.SpeedupAtMax)
+	}
+	fmt.Printf("  scaling  speedup@%dw %.2fx -> %.2fx (%+.1f%%)  steals %d -> %d\n",
+		newMax.Workers, o.SpeedupAtMax, n.SpeedupAtMax, -drop, oldMax.Steals, newMax.Steals)
+	if o.Oversubscribed || n.Oversubscribed {
+		fmt.Printf("  scaling  speedup gate skipped (oversubscribed sweep: workers exceed cores)\n")
+		return nil
+	}
+	if o.SpeedupAtMax > 0 && drop > speedupPct {
+		msg := fmt.Sprintf("scaling speedup@%dw -%.1f%% exceeds -%.1f%% (%.2fx -> %.2fx)",
+			newMax.Workers, drop, speedupPct, o.SpeedupAtMax, n.SpeedupAtMax)
+		fmt.Printf("  REGRESSION: %s\n", msg)
+		return []string{msg}
+	}
+	return nil
 }
 
 // deltaPct is the percent change from old to new; positive means new is

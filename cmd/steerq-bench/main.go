@@ -7,8 +7,8 @@
 // Usage:
 //
 //	steerq-bench [-scale 0.01] [-seed 2021] [-m 300] [-workers N] [-exp all|table1..table5|fig1..fig8|ablations|extensions] [-v]
-//	steerq-bench -perf [-perf-out BENCH_pipeline.json] [-workers 4] [-scale 0.01] [-m 300]
-//	steerq-bench -compare old.json [-perf-out new.json] [-compare-ns-threshold 10] [-compare-allocs-threshold 10]
+//	steerq-bench -perf [-perf-out BENCH_pipeline.json] [-workers 4] [-scale 0.01] [-m 300] [-zipf 1.1] [-perf-quick]
+//	steerq-bench -compare old.json [-perf-out new.json] [-compare-ns-threshold 10] [-compare-allocs-threshold 10] [-compare-speedup-threshold 10]
 package main
 
 import (
@@ -40,9 +40,12 @@ func realMain() int {
 		expName    = flag.String("exp", "all", "experiment to run (all, table1..table5, fig1..fig8)")
 		perf       = flag.Bool("perf", false, "measure pipeline throughput instead of running experiments")
 		perfOut    = flag.String("perf-out", "BENCH_pipeline.json", "output path for the -perf JSON report")
+		perfQuick  = flag.Bool("perf-quick", false, "with -perf, time one iteration per leg instead of a calibrated benchmark loop (CI smoke; allocs unreported)")
+		zipf       = flag.Float64("zipf", 1.1, "with -perf, Zipf skew s for the scaling sweep's hot-template workload (0 = uniform arrivals, negative disables the sweep)")
 		compareOld = flag.String("compare", "", "diff this old BENCH_pipeline.json against -perf-out and exit nonzero on regression past the thresholds")
 		compareNs  = flag.Float64("compare-ns-threshold", 10.0, "with -compare, max tolerated ns/op regression in percent")
 		compareAl  = flag.Float64("compare-allocs-threshold", 10.0, "with -compare, max tolerated allocs/op regression in percent")
+		compareSp  = flag.Float64("compare-speedup-threshold", 10.0, "with -compare, max tolerated scaling-sweep speedup regression at the highest worker count, in percent")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 		faultSeed  = flag.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
@@ -92,7 +95,7 @@ func realMain() int {
 	}
 
 	if *compareOld != "" {
-		if err := runCompare(*compareOld, *perfOut, *compareNs, *compareAl); err != nil {
+		if err := runCompare(*compareOld, *perfOut, *compareNs, *compareAl, *compareSp); err != nil {
 			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
 			return 1
 		}
@@ -100,7 +103,7 @@ func realMain() int {
 	}
 
 	if *perf {
-		if err := runPerf(*scale, *seed, *m, *workers, *perfOut, *metricsOut, *verbose); err != nil {
+		if err := runPerf(*scale, *seed, *m, *workers, *zipf, *perfQuick, *perfOut, *metricsOut, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
 			return 1
 		}

@@ -25,7 +25,47 @@ type perfConfig struct {
 	Iterations  int     `json:"iterations"`
 	SecPerOp    float64 `json:"sec_per_op"`
 	Skipped     bool    `json:"skipped,omitempty"`
-	Note        string  `json:"note,omitempty"`
+	// Oversubscribed marks a leg run with GOMAXPROCS above NumCPU (forced
+	// via STEERQ_BENCH_FORCE_PARALLEL=1 or a small machine): the number is
+	// recorded rather than skipped, but it is not a scaling measurement and
+	// downstream gates must not treat it as one.
+	Oversubscribed bool   `json:"oversubscribed,omitempty"`
+	Note           string `json:"note,omitempty"`
+}
+
+// perfScalingLeg is one worker count of the scaling sweep: cold-cache
+// Recompile over the Zipf-skewed hot-template job set, with the scheduler's
+// steal/merge counters from one representative pass.
+type perfScalingLeg struct {
+	Workers    int     `json:"workers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	SecPerOp   float64 `json:"sec_per_op"`
+	Iterations int     `json:"iterations"`
+	// Speedup is legs[0].NsPerOp / NsPerOp — throughput relative to the
+	// one-worker leg of the same sweep.
+	Speedup float64 `json:"speedup"`
+	// Items/Steals/Merges are per-op scheduler counters: candidate compiles
+	// dispatched, cross-worker steals (schedule-dependent, diagnostic only),
+	// and serial merge phases. Items and Merges are deterministic.
+	Items          int    `json:"items"`
+	Steals         uint64 `json:"steals"`
+	Merges         int    `json:"merges"`
+	Oversubscribed bool   `json:"oversubscribed,omitempty"`
+}
+
+// perfScaling is the workers-1/2/4/8 sweep over a Zipf(s) hot-template
+// workload — the skewed recurring-template traffic the production paper
+// describes. Oversubscribed is true when any leg ran with more workers than
+// cores; such sweeps are recorded but exempt from the -compare speedup gate.
+type perfScaling struct {
+	Workload       string           `json:"workload"`
+	ZipfSkew       float64          `json:"zipf_skew"`
+	Jobs           int              `json:"jobs"`
+	Candidates     int              `json:"candidates"`
+	Legs           []perfScalingLeg `json:"legs"`
+	SpeedupAtMax   float64          `json:"speedup_at_max"`
+	Oversubscribed bool             `json:"oversubscribed,omitempty"`
 }
 
 // perfCompile measures one default-configuration Cascades compile of a single
@@ -98,6 +138,7 @@ type perfReport struct {
 	Serial        perfConfig    `json:"serial"`
 	Parallel      perfConfig    `json:"parallel"`
 	Speedup       float64       `json:"speedup,omitempty"`
+	Scaling       *perfScaling  `json:"scaling,omitempty"`
 	Compile       perfCompile   `json:"compile"`
 	Baseline      perfBaseline  `json:"baseline"`
 	Cache         perfCache     `json:"cache"`
@@ -110,12 +151,26 @@ type perfReport struct {
 // misleading 0.97x.
 const minParallelProcs = 4
 
+// benchOnce times a single invocation of f — the -perf-quick measurement
+// unit. testing.Benchmark cannot take a -benchtime, so CI smoke runs use one
+// timed iteration instead of a calibrated loop.
+func benchOnce(f func() error) (int64, error) {
+	// steerq:allow-wallclock — this IS the benchmark measurement; timings go
+	// into the perf report, never into experiment output.
+	start := time.Now() // steerq:allow-wallclock — see above.
+	err := f()
+	// steerq:allow-wallclock — see above.
+	return time.Since(start).Nanoseconds(), err
+}
+
 // runPerf measures Pipeline.Recompile wall-clock at Workers=1 vs
 // Workers=workers over a fixed job set (cold cache each iteration, so the
-// comparison is honest), plus a single-compile microbenchmark and
-// compile-cache hit rates over repeated passes, and writes the result as JSON
-// to outPath.
-func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut string, verbose bool) error {
+// comparison is honest), plus a single-compile microbenchmark, compile-cache
+// hit rates over repeated passes, and a workers-1/2/4/8 scaling sweep over a
+// Zipf(zipf)-skewed hot-template workload, and writes the result as JSON to
+// outPath. quick swaps every calibrated testing.Benchmark loop for one timed
+// iteration (allocs unreported) so CI can smoke the whole report cheaply.
+func runPerf(scale float64, seed uint64, m, workers int, zipf float64, quick bool, outPath, metricsOut string, verbose bool) error {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -161,6 +216,16 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 	}
 
 	measure := func(w int) (perfConfig, error) {
+		if quick {
+			ns, err := benchOnce(func() error { return recompileAll(w, nil, nil) })
+			return perfConfig{
+				Workers:    w,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				NsPerOp:    ns,
+				Iterations: 1,
+				SecPerOp:   float64(ns) / 1e9,
+			}, err
+		}
 		var err error
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -218,6 +283,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 			return err
 		}
 		if procs > runtime.NumCPU() {
+			parallel.Oversubscribed = true
 			parallel.Note = fmt.Sprintf("oversubscribed: GOMAXPROCS=%d > NumCPU=%d; speedup is not a scaling measurement", procs, runtime.NumCPU())
 			if force && runtime.NumCPU() < 2 {
 				parallel.Note += " (STEERQ_BENCH_FORCE_PARALLEL=1)"
@@ -230,24 +296,50 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 	// configuration, fresh memo per iteration.
 	full := bitvec.AllSet(bitvec.Width)
 	job := jobs[0]
-	var compileErr error
-	cres := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, e := h.Opt.Optimize(job.Root, full); e != nil && compileErr == nil {
-				compileErr = e
-			}
+	var compile perfCompile
+	if quick {
+		ns, err := benchOnce(func() error {
+			_, e := h.Opt.Optimize(job.Root, full)
+			return e
+		})
+		if err != nil {
+			return fmt.Errorf("perf: compile %s: %w", job.ID, err)
 		}
-	})
-	if compileErr != nil {
-		return fmt.Errorf("perf: compile %s: %w", job.ID, compileErr)
+		compile = perfCompile{Job: job.ID, NsPerCompile: ns, Iterations: 1}
+	} else {
+		var compileErr error
+		cres := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, e := h.Opt.Optimize(job.Root, full); e != nil && compileErr == nil {
+					compileErr = e
+				}
+			}
+		})
+		if compileErr != nil {
+			return fmt.Errorf("perf: compile %s: %w", job.ID, compileErr)
+		}
+		compile = perfCompile{
+			Job:              job.ID,
+			NsPerCompile:     cres.NsPerOp(),
+			AllocsPerCompile: cres.AllocsPerOp(),
+			BytesPerCompile:  cres.AllocedBytesPerOp(),
+			Iterations:       cres.N,
+		}
 	}
-	compile := perfCompile{
-		Job:              job.ID,
-		NsPerCompile:     cres.NsPerOp(),
-		AllocsPerCompile: cres.AllocsPerOp(),
-		BytesPerCompile:  cres.AllocedBytesPerOp(),
-		Iterations:       cres.N,
+
+	// Scaling sweep: workers 1/2/4/8 over the Zipf-skewed hot-template
+	// workload, recording speedup and scheduler steal/merge counters. zipf=0
+	// is the uniform limit of the law (arrival weights untouched), so the
+	// same sweep doubles as the uniform-traffic comparison; negative skew
+	// disables the sweep entirely.
+	var scaling *perfScaling
+	if zipf >= 0 {
+		var err error
+		scaling, err = measureScaling(scale, seed, m, zipf, quick)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Cache effectiveness: two passes over the same jobs through one cache —
@@ -279,6 +371,7 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		Candidates:    m,
 		Serial:        serial,
 		Parallel:      parallel,
+		Scaling:       scaling,
 		Compile:       compile,
 		Baseline:      baseline,
 		Cache: perfCache{
@@ -322,6 +415,17 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		fmt.Printf("  workers=%d (GOMAXPROCS=%d): %s/op  %d allocs/op  (%.2fx speedup)\n",
 			workers, parallel.GoMaxProcs, time.Duration(parallel.NsPerOp), parallel.AllocsPerOp, rep.Speedup)
 	}
+	if scaling != nil {
+		fmt.Printf("  scaling (zipf s=%g, %d jobs):\n", scaling.ZipfSkew, scaling.Jobs)
+		for _, leg := range scaling.Legs {
+			tag := ""
+			if leg.Oversubscribed {
+				tag = "  [oversubscribed]"
+			}
+			fmt.Printf("    workers=%d: %s/op  %.2fx  %d items  %d steals  %d merges%s\n",
+				leg.Workers, time.Duration(leg.NsPerOp), leg.Speedup, leg.Items, leg.Steals, leg.Merges, tag)
+		}
+	}
 	fmt.Printf("  compile %s: %s  %d allocs  %d B\n",
 		compile.Job, time.Duration(compile.NsPerCompile), compile.AllocsPerCompile, compile.BytesPerCompile)
 	fmt.Printf("  vs baseline: allocs -%.1f%%  bytes -%.1f%%  time -%.1f%%\n",
@@ -340,6 +444,108 @@ func runPerf(scale float64, seed uint64, m, workers int, outPath, metricsOut str
 		fmt.Fprintf(os.Stderr, "%s", data)
 	}
 	return nil
+}
+
+// scalingWorkers is the sweep the scaling leg records; the last entry is the
+// count the -compare speedup gate reads.
+var scalingWorkers = []int{1, 2, 4, 8}
+
+// measureScaling runs the cold-cache Recompile sweep over a Zipf(s)-skewed
+// hot-template workload at each worker count in scalingWorkers. GOMAXPROCS is
+// raised to the leg's worker count when the machine has fewer cores, and such
+// legs (and the sweep) are marked oversubscribed so downstream gates can
+// ignore their speedups. One stats pass per leg records the scheduler's
+// items/steals/merges counters; items and merges are deterministic, steals
+// are schedule-dependent diagnostics.
+func measureScaling(scale float64, seed uint64, m int, zipf float64, quick bool) (*perfScaling, error) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.Candidates = m
+	cfg.ZipfSkew = zipf
+	r := experiments.NewRunner(cfg)
+	const wl = "A"
+	jobs := r.LongJobs(wl, 0)
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("perf: zipf workload %s has no long-running jobs at scale %g", wl, scale)
+	}
+	if len(jobs) > 6 {
+		jobs = jobs[:6]
+	}
+	h := r.Harness(wl)
+
+	recompileAll := func(w int, sched *steering.SchedStats) error {
+		p := steering.NewPipeline(h, xrand.New(seed).Derive("scaling"))
+		p.MaxCandidates = m
+		p.Workers = w
+		for _, j := range jobs {
+			a, err := p.Recompile(j)
+			if err != nil {
+				return fmt.Errorf("perf: scaling recompile %s: %w", j.ID, err)
+			}
+			if sched != nil {
+				sched.Add(a.Sched)
+			}
+		}
+		return nil
+	}
+	// Warm-up, and the lazily built state (statistics, day inputs) census.
+	if err := recompileAll(1, nil); err != nil {
+		return nil, err
+	}
+
+	sc := &perfScaling{Workload: wl, ZipfSkew: zipf, Jobs: len(jobs), Candidates: m}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, w := range scalingWorkers {
+		procs := prev
+		if w > procs {
+			procs = w
+		}
+		runtime.GOMAXPROCS(procs)
+		leg := perfScalingLeg{Workers: w, GoMaxProcs: procs, Oversubscribed: procs > runtime.NumCPU()}
+		var sched steering.SchedStats
+		if quick {
+			// The single timed iteration doubles as the stats pass.
+			ns, err := benchOnce(func() error { return recompileAll(w, &sched) })
+			if err != nil {
+				return nil, err
+			}
+			leg.NsPerOp, leg.Iterations = ns, 1
+		} else {
+			var err error
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if e := recompileAll(w, nil); e != nil && err == nil {
+						err = e
+					}
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			leg.NsPerOp, leg.Iterations = res.NsPerOp(), res.N
+			if err := recompileAll(w, &sched); err != nil {
+				return nil, err
+			}
+		}
+		leg.SecPerOp = float64(leg.NsPerOp) / 1e9
+		leg.Items, leg.Steals, leg.Merges = sched.Items, sched.Steals, sched.Merges
+		if len(sc.Legs) > 0 && leg.NsPerOp > 0 {
+			leg.Speedup = float64(sc.Legs[0].NsPerOp) / float64(leg.NsPerOp)
+		} else if len(sc.Legs) == 0 {
+			leg.Speedup = 1
+		}
+		if leg.Oversubscribed {
+			sc.Oversubscribed = true
+		}
+		sc.Legs = append(sc.Legs, leg)
+	}
+	sc.SpeedupAtMax = sc.Legs[len(sc.Legs)-1].Speedup
+	if sc.Oversubscribed {
+		fmt.Fprintf(os.Stderr, "steerq-bench: warning: scaling sweep oversubscribed (NumCPU=%d); speedups recorded but not gate-worthy\n", runtime.NumCPU())
+	}
+	return sc, nil
 }
 
 func reductionPct(base, now int64) float64 {

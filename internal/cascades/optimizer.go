@@ -113,7 +113,22 @@ var ErrNoPlan = errors.New("cascades: no physical plan under this rule configura
 // read-only after construction. The discovery pipeline relies on this to fan
 // candidate recompilations out across workers.
 func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error) {
-	return o.optimize(root, cfg, true)
+	return o.optimize(root, cfg, true, nil)
+}
+
+// OptimizeInto is Optimize compiling through the caller-owned arena instead
+// of the shared scratch pool. Hot loops that compile many configurations on
+// one goroutine — or one scheduler worker — hold a cascades.Scratch per
+// worker so steady-state compiles never touch the pool. A nil Scratch
+// behaves exactly like Optimize.
+func (o *Optimizer) OptimizeInto(sc *Scratch, root *plan.Node, cfg bitvec.Vector) (*Result, error) {
+	return o.optimize(root, cfg, true, sc.arena())
+}
+
+// OptimizeCostInto is OptimizeCost through a caller-owned arena; see
+// OptimizeInto.
+func (o *Optimizer) OptimizeCostInto(sc *Scratch, root *plan.Node, cfg bitvec.Vector) (*Result, error) {
+	return o.optimize(root, cfg, false, sc.arena())
 }
 
 // OptimizeCost is Optimize without plan materialization: the returned Result
@@ -125,14 +140,16 @@ func (o *Optimizer) Optimize(root *plan.Node, cfg bitvec.Vector) (*Result, error
 // the single largest allocation of a compile. The search itself is
 // byte-identical to Optimize's; only the final extraction differs.
 func (o *Optimizer) OptimizeCost(root *plan.Node, cfg bitvec.Vector) (*Result, error) {
-	return o.optimize(root, cfg, false)
+	return o.optimize(root, cfg, false, nil)
 }
 
-func (o *Optimizer) optimize(root *plan.Node, cfg bitvec.Vector, buildPlan bool) (*Result, error) {
+func (o *Optimizer) optimize(root *plan.Node, cfg bitvec.Vector, buildPlan bool, sc *searchScratch) (*Result, error) {
 	if root == nil {
 		return nil, errors.New("cascades: nil plan")
 	}
-	sc := scratchPool.Get().(*searchScratch)
+	if sc == nil {
+		sc = scratchPool.Get().(*searchScratch)
+	}
 	m := newMemoArena(root, o.Est, o.LegacyIntern, sc)
 	if o.ExprLimit > 0 {
 		m.ExprLimit = o.ExprLimit

@@ -37,6 +37,11 @@ const (
 // compile. Zeroing also drops the chunk-held references into the dead
 // search graph, keeping the pool from pinning retired memos.
 type searchScratch struct {
+	// owned marks an arena held by a caller's Scratch handle: release still
+	// zeroes it for the next compile but must not hand it to the shared
+	// pool, or two owners could end up recycling one arena concurrently.
+	owned bool
+
 	// Physical-search side.
 	pexprChunks [][]pexpr
 	childChunks [][]*pexpr
@@ -71,17 +76,49 @@ type searchScratch struct {
 	memoSchema   [][]plan.Column
 }
 
+// newSearchScratch builds an empty arena; the chunk slabs grow lazily on
+// first use.
+func newSearchScratch() *searchScratch {
+	return &searchScratch{
+		candidates: make(map[*Group][]*pexpr),
+		buckets:    make(map[uint64]*MExpr, 64),
+		byNode:     make(map[*plan.Node]*Group),
+	}
+}
+
 // scratchPool recycles compile arenas across Optimize calls and goroutines.
 // Entries are dropped by the runtime under memory pressure, so a one-off
 // giant compile cannot pin its arena forever.
 var scratchPool = sync.Pool{
-	New: func() any {
-		return &searchScratch{
-			candidates: make(map[*Group][]*pexpr),
-			buckets:    make(map[uint64]*MExpr, 64),
-			byNode:     make(map[*plan.Node]*Group),
-		}
-	},
+	New: func() any { return newSearchScratch() },
+}
+
+// Scratch is a caller-owned compile arena for OptimizeInto and
+// OptimizeCostInto. Call sites that compile in a tight loop — the steering
+// pipeline's candidate fan-out keys one Scratch per scheduler worker — hold
+// on to a Scratch so every compile reuses the same slabs and maps without a
+// sync.Pool round trip (and without the pool's cross-goroutine handoffs,
+// which under contention hand a cold arena to a hot loop). A Scratch must
+// not be used by two compiles at once; the zero of exclusivity is the
+// caller's worker identity. A nil *Scratch is valid and falls back to the
+// shared pool.
+type Scratch struct {
+	sc *searchScratch
+}
+
+// NewScratch returns an empty caller-owned arena.
+func NewScratch() *Scratch {
+	sc := newSearchScratch()
+	sc.owned = true
+	return &Scratch{sc: sc}
+}
+
+// arena returns the backing arena, or nil to request the pooled path.
+func (s *Scratch) arena() *searchScratch {
+	if s == nil {
+		return nil
+	}
+	return s.sc
 }
 
 // pexprChunk returns the next zeroed pexpr chunk, reusing a recycled one
@@ -246,5 +283,7 @@ func (s *search) release() {
 	}
 
 	s.scratch = nil
-	scratchPool.Put(sc)
+	if !sc.owned {
+		scratchPool.Put(sc)
+	}
 }

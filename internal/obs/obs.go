@@ -144,6 +144,19 @@ func (r *Registry) now() time.Time {
 	return r.clock()
 }
 
+// Clock exposes the registry's clock so callers timing their own phases
+// (e.g. the pipeline's merge-phase histogram) read the same seam spans do:
+// frozen or virtual clocks make those durations deterministic exactly like
+// span durations. A nil registry returns the frozen clock — there is no
+// instrument to record into, so the reading must at least be cheap and
+// deterministic.
+func (r *Registry) Clock() Clock {
+	if r == nil {
+		return FrozenClock()
+	}
+	return r.clock
+}
+
 // Counter returns (creating once) the counter with the given name and
 // label pairs (key, value, key, value, ...). A nil registry returns a nil
 // counter, which records nothing.

@@ -11,6 +11,10 @@
 //
 // Worker counts resolve in precedence order: an explicit positive value, the
 // STEERQ_WORKERS environment variable, then runtime.GOMAXPROCS(0).
+//
+// steerq:hotpath — every candidate compile is dispatched through this
+// package; the hotalloc analyzer guards the scheduler against allocation
+// regressions.
 package par
 
 import (
@@ -18,8 +22,6 @@ import (
 	"os"
 	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -49,52 +51,15 @@ func Workers(n int) int {
 // indices' failures (pipeline call sites treat per-item failure as data, not
 // as a reason to stop); the returned error is the one from the lowest failing
 // index, so the error too is independent of scheduling.
+//
+// ForEach schedules through the work-stealing scheduler (see Run) with no
+// priority function, so items are dealt in index order; callers that want
+// priorities, worker identities or scheduling telemetry use Run directly.
 func ForEach(workers, n int, f func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
-	if w == 1 {
-		// Serial fast path: no goroutines, same observable behavior.
-		var firstErr error
-		firstIdx := -1
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil && firstIdx == -1 {
-				firstIdx, firstErr = i, err
-			}
-		}
-		return firstErr
-	}
-
-	var next atomic.Int64
-	var mu sync.Mutex
-	firstIdx := -1
-	var firstErr error
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := f(i); err != nil {
-					mu.Lock()
-					if firstIdx == -1 || i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	_, err := Run(workers, n, Options{}, func(_, i int) error {
+		return f(i)
+	})
+	return err
 }
 
 // Map applies f to every item and returns the results slotted by input index.

@@ -248,6 +248,38 @@ func (c *CompileCache) Put(fp JobFingerprint, cfg bitvec.Vector, v CompileValue)
 	}
 	s := c.shard(fp)
 	s.mu.Lock()
+	c.putLocked(s, fp, cfg, v)
+	s.mu.Unlock()
+}
+
+// CacheWrite is one pending insertion for PutBatch.
+type CacheWrite struct {
+	Config bitvec.Vector
+	Value  CompileValue
+}
+
+// PutBatch applies a batch of writes for one fingerprinted job under a
+// single shard-lock acquisition, in slice order. The pipeline's merge phase
+// drains each compile batch's per-worker write buffers through it — all of
+// one job's entries live in one shard (sharding is by fingerprint alone),
+// so the batch pays one lock round trip instead of one per candidate, and
+// insertion order — hence CLOCK eviction order — is exactly the slice
+// order, independent of how many workers produced the values.
+func (c *CompileCache) PutBatch(fp JobFingerprint, writes []CacheWrite) {
+	if c == nil || len(writes) == 0 {
+		return
+	}
+	s := c.shard(fp)
+	s.mu.Lock()
+	for _, w := range writes {
+		c.putLocked(s, fp, w.Config, w.Value)
+	}
+	s.mu.Unlock()
+}
+
+// putLocked inserts one entry into s, which must be fp's shard and write-
+// locked by the caller.
+func (c *CompileCache) putLocked(s *cacheShard, fp JobFingerprint, cfg bitvec.Vector, v CompileValue) {
 	je := s.jobs[fp]
 	if je == nil {
 		je = &jobEntry{}
@@ -267,7 +299,6 @@ func (c *CompileCache) Put(fp JobFingerprint, cfg bitvec.Vector, v CompileValue)
 	k := cfg.And(v.Footprint).Key()
 	if slot, ok := fe.vals[k]; ok {
 		slot.val = v // deterministic recompile of the same class; refresh
-		s.mu.Unlock()
 		return
 	}
 	fe.vals[k] = &cacheSlot{val: v, writer: cfg.Key()}
@@ -278,7 +309,6 @@ func (c *CompileCache) Put(fp JobFingerprint, cfg bitvec.Vector, v CompileValue)
 			s.evictLocked(c)
 		}
 	}
-	s.mu.Unlock()
 }
 
 // evictLocked removes one value slot from the shard by second-chance CLOCK:

@@ -57,12 +57,23 @@ func obsAnalyze(t *testing.T, workers int) (snapJSON, snapText string) {
 // outcome — serializes byte-identically at any worker count, in both the JSON
 // snapshot and the text exposition. Run under -race this also proves the
 // sharded histogram and span recording are data-race free.
+//
+// STEERQ_VCLOCK is set the way the deterministic CI run sets it: the
+// scheduler's per-worker attribution and steal counts are the one
+// schedule-dependent corner of the registry, and the virtual clock is the
+// switch that canonicalizes them (like it zeroes span durations), so the
+// frozen-clock goldens cover them too.
 func TestObsSnapshotWorkerDeterminism(t *testing.T) {
+	t.Setenv(obs.VClockEnv, "1")
 	baseJSON, baseText := obsAnalyze(t, 1)
 	for _, want := range []string{
 		"steerq_pipeline_candidates_total",
 		"steerq_cascades_rule_firings_total",
 		"steerq_robustness_retries_total",
+		"steerq_par_items_total",
+		"steerq_par_queue_depth",
+		"steerq_pipeline_merge_seconds",
+		"steerq_pipeline_merges_total",
 		"pipeline.recompile",
 		"abtest.compile",
 	} {

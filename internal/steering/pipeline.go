@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"steerq/internal/abtest"
 	"steerq/internal/bitvec"
@@ -58,6 +59,36 @@ type Analysis struct {
 	// equivalence class (Avoided), seeded either by a compile in this
 	// analysis or by a compile-cache hit (CacheSeeded).
 	Footprint FootprintStats
+
+	// Sched summarizes the candidate stage's scheduling. Steals are
+	// diagnostic — which worker reached an item first is timing-dependent —
+	// and are deliberately excluded from the determinism contract; every
+	// other field is a function of the batch sequence and so identical at
+	// any worker count.
+	Sched SchedStats
+}
+
+// SchedStats aggregates work-stealing scheduler activity over the candidate
+// stage (and, through Add, over whole workloads in steerq-bench).
+type SchedStats struct {
+	// Items counts compiles dispatched through the scheduler.
+	Items int
+	// Steals counts cross-worker steals (diagnostic; see Analysis.Sched).
+	Steals uint64
+	// Merges counts serial merge phases (one per compile batch).
+	Merges int
+	// MaxWorkers is the widest resolved worker count any batch ran with.
+	MaxWorkers int
+}
+
+// Add accumulates o into s (for workload-level reporting).
+func (s *SchedStats) Add(o SchedStats) {
+	s.Items += o.Items
+	s.Steals += o.Steals
+	s.Merges += o.Merges
+	if o.MaxWorkers > s.MaxWorkers {
+		s.MaxWorkers = o.MaxWorkers
+	}
 }
 
 // FootprintStats summarizes the equivalence-class collapse of one candidate
@@ -125,6 +156,18 @@ type Pipeline struct {
 	// state is commutative or content-keyed, so snapshots stay bit-identical
 	// at any Workers value.
 	Obs *obs.Registry
+
+	// schedMu guards the lazily built scheduler plumbing below; a Pipeline
+	// may serve concurrent Analyze calls, and each checks arenas out for
+	// the duration of its candidate stage.
+	schedMu sync.Mutex
+	// arenaFree is the free list of per-worker compile arenas. Arenas are
+	// keyed by scheduler worker identity while checked out, so a compile
+	// never touches the cascades scratch pool from the fan-out path.
+	arenaFree []*cascades.Scratch
+	// schedObs is the pipeline's scheduler telemetry, resolved once
+	// against Obs.
+	schedObs *par.SchedObs
 }
 
 // NewPipeline returns a pipeline with the paper's parameters (M=1000, 10
@@ -222,14 +265,82 @@ func (p *Pipeline) recompileCtx(ctx context.Context, job *workload.Job) (*Analys
 // have resolved against round N's classes.
 const classBatch = 16
 
+// Merge-phase metric names and histogram bounds. Durations read the
+// registry clock, so frozen-clock runs record deterministic zeros exactly
+// like span durations.
+const (
+	mergeSecondsMetric = "steerq_pipeline_merge_seconds"
+	mergesMetric       = "steerq_pipeline_merges_total"
+)
+
+var mergeSecondsBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+
+// checkoutArenas takes w compile arenas off the pipeline's free list
+// (growing it on first use); returnArenas gives them back. Checked-out
+// arenas are indexed by scheduler worker identity, whose exclusivity
+// guarantee replaces locking.
+func (p *Pipeline) checkoutArenas(w int) []*cascades.Scratch {
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	out := make([]*cascades.Scratch, w)
+	for i := range out {
+		if n := len(p.arenaFree); n > 0 {
+			out[i] = p.arenaFree[n-1]
+			p.arenaFree = p.arenaFree[:n-1]
+		} else {
+			out[i] = cascades.NewScratch()
+		}
+	}
+	return out
+}
+
+func (p *Pipeline) returnArenas(arenas []*cascades.Scratch) {
+	p.schedMu.Lock()
+	p.arenaFree = append(p.arenaFree, arenas...)
+	p.schedMu.Unlock()
+}
+
+// schedTelemetry resolves (once) the scheduler's obs instruments against
+// the pipeline's registry; nil when the pipeline is uninstrumented.
+func (p *Pipeline) schedTelemetry() *par.SchedObs {
+	if p.Obs == nil {
+		return nil
+	}
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	if p.schedObs == nil {
+		p.schedObs = par.NewSchedObs(p.Obs)
+	}
+	return p.schedObs
+}
+
+// mergeEntry is one compiled candidate parked in its worker's write buffer
+// until the serial merge phase: the batch index it belongs to, the compile
+// outcome, and the fault record the attempt accumulated.
+type mergeEntry struct {
+	bi  int
+	v   CompileValue
+	err error
+	rec faults.Record
+}
+
 // resolveCandidates resolves every candidate configuration to a compile
 // outcome, compiling only one representative per footprint equivalence
 // class (see FootprintClasses). Rounds alternate a serial sweep — resolve
 // pending candidates against discovered classes, then against the compile
-// cache — with a parallel compile of the first classBatch still-unresolved
-// candidates, merged serially in batch order. All cache and class traffic
-// is serial, so outcomes, counters and eviction order are independent of
-// Workers.
+// cache — with a work-stealing parallel compile of the first classBatch
+// still-unresolved candidates, and a serial merge phase.
+//
+// The parallel phase is write-free on every shared structure: each worker
+// compiles through its own checked-out arena and parks outcomes in its own
+// write buffer (the worker-identity exclusivity of par.Run is the lock).
+// The merge phase then drains the buffers in worker-index order, scatters
+// them back into batch order, and applies them in ascending candidate
+// index — the exact order a serial run produces — pushing all cache writes
+// through one PutBatch. Classes, counters, fault records and the cache's
+// CLOCK eviction order therefore never see worker count or schedule, and
+// heavier candidates (more enabled rules) are scheduled first via the
+// priority hook without affecting any of it.
 func (p *Pipeline) resolveCandidates(ctx context.Context, job *workload.Job, cfgs []bitvec.Vector, a *Analysis, candCounters map[string]*obs.Counter) {
 	a.Footprint.Candidates = len(cfgs)
 	fp, cacheable := jobFingerprint(job)
@@ -246,11 +357,21 @@ func (p *Pipeline) resolveCandidates(ctx context.Context, job *workload.Job, cfg
 		resolved[i] = Candidate{Config: cfgs[i], EstCost: v.Cost, Signature: v.Signature}
 		okFlags[i] = true
 	}
-	type cslot struct {
-		v   CompileValue
-		err error
-		rec faults.Record
+
+	workers := par.Workers(p.Workers)
+	if workers > classBatch {
+		workers = classBatch
 	}
+	arenas := p.checkoutArenas(workers)
+	defer p.returnArenas(arenas)
+	schedObs := p.schedTelemetry()
+	mergeHist := p.Obs.Histogram(mergeSecondsMetric, mergeSecondsBounds)
+	mergeCount := p.Obs.Counter(mergesMetric)
+	clock := p.Obs.Clock()
+
+	var slots [classBatch]mergeEntry
+	bufs := make([][]mergeEntry, workers)
+	var writes []CacheWrite
 	pending := make([]int, len(cfgs))
 	for i := range pending {
 		pending[i] = i
@@ -286,13 +407,38 @@ func (p *Pipeline) resolveCandidates(ctx context.Context, job *workload.Job, cfg
 			n = len(unresolved)
 		}
 		batch := unresolved[:n]
-		slots, _ := par.Map(p.Workers, batch, func(_ int, i int) (cslot, error) {
-			var s cslot
-			tag := fmt.Sprintf("%s/cand%d", job.ID, i)
-			s.v, s.err = p.compileFresh(ctx, job, cfgs[i], tag, &s.rec)
-			return s, nil
+		// Parallel phase: workers compile into their own buffers through
+		// their own arenas; nothing shared is written.
+		for w := range bufs {
+			bufs[w] = bufs[w][:0]
+		}
+		st, _ := par.Run(workers, len(batch), par.Options{
+			Priority: func(bi int) int64 { return int64(cfgs[batch[bi]].Count()) },
+			Obs:      schedObs,
+		}, func(worker, bi int) error {
+			e := mergeEntry{bi: bi}
+			tag := fmt.Sprintf("%s/cand%d", job.ID, batch[bi])
+			e.v, e.err = p.compileFresh(ctx, job, cfgs[batch[bi]], tag, &e.rec, arenas[worker])
+			bufs[worker] = append(bufs[worker], e)
+			return nil
 		})
-		for bi, s := range slots {
+		a.Sched.Items += st.Items
+		a.Sched.Steals += st.Steals
+		if st.Workers > a.Sched.MaxWorkers {
+			a.Sched.MaxWorkers = st.Workers
+		}
+
+		// Merge phase: worker-index order for collection, ascending
+		// candidate index for application.
+		mergeStart := clock()
+		for w := range bufs {
+			for _, e := range bufs[w] {
+				slots[e.bi] = e
+			}
+		}
+		writes = writes[:0]
+		for bi := range batch {
+			s := &slots[bi]
 			i := batch[bi]
 			a.Robustness.Add(s.rec)
 			a.Footprint.Compiled++
@@ -305,10 +451,14 @@ func (p *Pipeline) resolveCandidates(ctx context.Context, job *workload.Job, cfg
 				a.Footprint.Classes++
 			}
 			if cacheable {
-				p.Cache.Put(fp, cfgs[i], s.v)
+				writes = append(writes, CacheWrite{Config: cfgs[i], Value: s.v})
 			}
 			record(i, s.v)
 		}
+		p.Cache.PutBatch(fp, writes)
+		a.Sched.Merges++
+		mergeCount.Inc()
+		mergeHist.Observe(clock().Sub(mergeStart).Seconds())
 		pending = unresolved[n:]
 	}
 	a.Candidates = make([]Candidate, 0, len(cfgs))
@@ -335,7 +485,7 @@ func (p *Pipeline) compile(ctx context.Context, job *workload.Job, cfg bitvec.Ve
 			return v, nil
 		}
 	}
-	v, err := p.compileFresh(ctx, job, cfg, tag, rec)
+	v, err := p.compileFresh(ctx, job, cfg, tag, rec, nil)
 	if err != nil {
 		// Only the optimizer's own no-plan verdict is negative-cached;
 		// injected failures, timeouts and corruption must not poison the
@@ -356,24 +506,27 @@ func (p *Pipeline) compile(ctx context.Context, job *workload.Job, cfg bitvec.Ve
 // carries the compile's decision footprint; a genuine no-plan outcome
 // (cascades.ErrNoPlan) returns OK=false but still carries the footprint, so
 // negatives share across equivalence classes exactly like successes.
-func (p *Pipeline) compileFresh(ctx context.Context, job *workload.Job, cfg bitvec.Vector, tag string, rec *faults.Record) (CompileValue, error) {
+//
+// arena, when non-nil, is the caller's worker-local compile arena; nil
+// falls back to the cascades scratch pool (the serial span-probe path).
+func (p *Pipeline) compileFresh(ctx context.Context, job *workload.Job, cfg bitvec.Vector, tag string, rec *faults.Record, arena *cascades.Scratch) (CompileValue, error) {
 	h := p.Harness
 	pol := faults.PolicyOrDefault(h.Retry, h.Faults)
 	// Candidate resolution keeps only the costed verdict, so skip plan
 	// materialization — the compile's single largest allocation — unless
 	// fault injection is active: corruption and validation target the plan
 	// and must keep seeing one.
-	compile := h.Opt.OptimizeCost
-	if h.Faults.Active() {
-		compile = h.Opt.Optimize
-	}
+	buildPlan := h.Faults.Active()
 	var res *cascades.Result
 	_, err := pol.Do(ctx, faults.SiteCompile, h.Faults.RetryRand(faults.SiteCompile, tag), rec,
 		func(actx context.Context, attempt int) error {
 			ictx, cancel := par.ItemContext(actx, h.CompileTimeout)
 			defer cancel()
 			r, cerr := h.Faults.CompileAttempt(ictx, tag, attempt, func() (*cascades.Result, error) {
-				return compile(job.Root, cfg)
+				if buildPlan {
+					return h.Opt.OptimizeInto(arena, job.Root, cfg)
+				}
+				return h.Opt.OptimizeCostInto(arena, job.Root, cfg)
 			})
 			if r != nil {
 				// Optimize reports a result even for its no-plan verdict;
