@@ -24,8 +24,8 @@
 #                                the next perf run
 #   9. coverage floor            go test -cover over the robustness- and
 #                                observability-critical packages (faults, par,
-#                                steering, obs, learning, nn) with an 80%
-#                                per-package floor
+#                                steering, obs, learning, nn, analysis, serve,
+#                                bundle) with an 80% per-package floor
 #  10. fault-injection smoke     one pipeline run with a pinned fault seed and
 #                                plan checking on: it must complete with every
 #                                faulted job surviving via retry or fallback
@@ -34,7 +34,15 @@
 #                                -metrics-out, diffed byte-for-byte against the
 #                                committed snapshot golden — metric drift and
 #                                nondeterminism both fail here
-#  12. perf stamp smoke          a tiny steerq-bench -perf -perf-quick run
+#  12. serving smoke             the full serving path end to end: build a
+#                                pinned-seed bundle with `steerq bundle`,
+#                                start steerqd on an ephemeral loopback port,
+#                                smoke-query known signatures (hits and a
+#                                miss) through the `steerq steer` client,
+#                                drain the daemon with SIGTERM, and diff its
+#                                frozen-clock metrics snapshot against the
+#                                committed ci_serving.golden.json
+#  13. perf stamp smoke          a tiny steerq-bench -perf -perf-quick run
 #                                under the frozen clock with
 #                                STEERQ_BENCH_FORCE_PARALLEL=1: the report's
 #                                generated_unix stamp must be 0 (reports are
@@ -43,15 +51,16 @@
 #                                skipped; oversubscribed runs are annotated,
 #                                not dropped), and the workers-1/2/4/8
 #                                scaling sweep must be present
-#  13. bench compare smoke       steerq-bench -compare self-diffs the stage-12
+#  14. bench compare smoke       steerq-bench -compare self-diffs the stage-13
 #                                report (a report never regresses against
 #                                itself) and then must flag an injected 10x
 #                                serial regression — both the zero-delta and
 #                                the gate-trips paths are exercised
-#  14. short fuzz pass           30s total over the scopeql parser/binder,
-#                                including the parse-print-parse round trip
+#  15. short fuzz pass           45s total over the scopeql parser/binder
+#                                (including the parse-print-parse round trip)
+#                                and the bundle decoder
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 14 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 15 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -89,9 +98,10 @@ go test -race ./internal/rules/ -run TestCompileAllocationBudget -count=1
 echo "== bench smoke (1x, serial + 4 workers) =="
 go test -run '^$' -bench 'BenchmarkPipelineWorkers(1|4)$' -benchtime=1x -benchmem .
 
-echo "== coverage floor (faults, par, steering, obs, learning, nn, analysis >= 80%) =="
+echo "== coverage floor (faults, par, steering, obs, learning, nn, analysis, serve, bundle >= 80%) =="
 go test -cover ./internal/faults/ ./internal/par/ ./internal/steering/ \
-    ./internal/obs/ ./internal/learning/ ./internal/nn/ ./internal/analysis/ > /tmp/steerq-cover.$$
+    ./internal/obs/ ./internal/learning/ ./internal/nn/ ./internal/analysis/ \
+    ./internal/serve/ ./internal/bundle/ > /tmp/steerq-cover.$$
 cat /tmp/steerq-cover.$$
 awk '
     /coverage:/ {
@@ -123,6 +133,54 @@ diff -u cmd/steerq/testdata/ci_metrics.golden.json /tmp/steerq-metrics.$$.json |
     exit 1
 }
 rm -f /tmp/steerq-metrics.$$.json
+
+echo "== serving smoke (steerqd end to end, frozen clock) =="
+servdir=$(mktemp -d)
+STEERQ_VCLOCK=1 go run ./cmd/steerq bundle -workload B -scale 0.002 -seed 5 -day 0 \
+    -max-jobs 10 -m 40 -k 3 -bundle-version 3 -created-unix 1700000000 \
+    -out "$servdir/active.stqb" > /dev/null
+go build -o "$servdir/steerqd" ./cmd/steerqd
+STEERQ_VCLOCK=1 "$servdir/steerqd" -addr 127.0.0.1:0 -bundle "$servdir/active.stqb" \
+    -addr-file "$servdir/addr.txt" -metrics-out "$servdir/serving.json" \
+    2> "$servdir/steerqd.log" &
+servpid=$!
+i=0
+while [ ! -s "$servdir/addr.txt" ] && [ $i -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+[ -s "$servdir/addr.txt" ] || {
+    echo "serving smoke: daemon never wrote its address file" >&2
+    cat "$servdir/steerqd.log" >&2
+    kill "$servpid" 2> /dev/null || true
+    rm -rf "$servdir"
+    exit 1
+}
+servaddr=$(cat "$servdir/addr.txt")
+# Smoke-query the bundle's first three signatures (known groups) plus the
+# all-zero signature (a guaranteed miss served from the default config).
+servsigs=$(go run ./cmd/steerq bundle -inspect "$servdir/active.stqb" \
+    | awk '/^entry/ { print $4 }' | cut -d= -f2 | head -3)
+first=1
+for sig in $servsigs $(printf '%064d' 0); do
+    if [ "$first" = 1 ]; then
+        go run ./cmd/steerq steer -addr "$servaddr" -wait-ready 10s -sig "$sig" > /dev/null
+        first=0
+    else
+        go run ./cmd/steerq steer -addr "$servaddr" -sig "$sig" > /dev/null
+    fi
+done
+kill -TERM "$servpid"
+wait "$servpid" || {
+    echo "serving smoke: daemon exited nonzero after SIGTERM" >&2
+    cat "$servdir/steerqd.log" >&2
+    rm -rf "$servdir"
+    exit 1
+}
+diff -u cmd/steerqd/testdata/ci_serving.golden.json "$servdir/serving.json" || {
+    echo "serving smoke: metrics snapshot drifted from committed golden" >&2
+    echo "(if the change is intentional, regenerate with the commands above)" >&2
+    rm -rf "$servdir"
+    exit 1
+}
+rm -rf "$servdir"
 
 echo "== perf stamp smoke (frozen clock, forced parallel) =="
 STEERQ_VCLOCK=1 STEERQ_BENCH_FORCE_PARALLEL=1 go run ./cmd/steerq-bench \
@@ -165,6 +223,7 @@ if [ "${STEERQ_CI_SKIP_FUZZ:-0}" != "1" ]; then
     echo "== fuzz (short) =="
     go test -fuzz=FuzzParse -fuzztime=15s ./internal/scopeql/
     go test -fuzz=FuzzCompile -fuzztime=15s ./internal/scopeql/
+    go test -fuzz=FuzzBundleDecode -fuzztime=15s ./internal/bundle/
 fi
 
 echo "CI OK"

@@ -11,21 +11,28 @@
 //	steerq pipeline [-workload A] [-job day/idx] [-m 300] [-k 10] [-workers N] [-fault-seed N] [-fault-rates site.kind=p,...]
 //	steerq groups   [-workload A] [-day 0] [-top 15]
 //	steerq workload [-workload A] [-day 0]
+//	steerq bundle   [-workload A] [-day 0] [-max-jobs N] [-m 300] [-k 10] -out file.stqb
+//	steerq bundle   -inspect file.stqb
+//	steerq steer    (-addr host:port | -bundle file.stqb) [-sig hex | -job day/idx] [-wait-ready 5s]
 //
 // Jobs are addressed as day/index within the deterministic generated
 // workload, e.g. -job 0/17.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"steerq/internal/abtest"
 	"steerq/internal/bitvec"
+	"steerq/internal/bundle"
 	"steerq/internal/cascades"
 	"steerq/internal/cost"
 	"steerq/internal/faults"
@@ -33,6 +40,7 @@ import (
 	"steerq/internal/par"
 	"steerq/internal/rules"
 	"steerq/internal/scopeql"
+	"steerq/internal/serve"
 	"steerq/internal/steering"
 	"steerq/internal/workload"
 	"steerq/internal/xrand"
@@ -60,6 +68,10 @@ func main() {
 		err = cmdWorkload(args)
 	case "explain":
 		err = cmdExplain(args)
+	case "bundle":
+		err = cmdBundle(args)
+	case "steer":
+		err = cmdSteer(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -71,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: steerq <compile|explain|span|search|pipeline|groups|workload> [flags]
+	fmt.Fprintln(os.Stderr, `usage: steerq <compile|explain|span|search|pipeline|groups|workload|bundle|steer> [flags]
 run "steerq <command> -h" for command flags`)
 }
 
@@ -472,4 +484,190 @@ func cmdExplain(args []string) error {
 	rep := e.harness.Executor.Explain(res.Plan, j.Day, j.ID)
 	rep.Render(os.Stdout)
 	return e.finish()
+}
+
+// cmdBundle is the offline "bundle build" step: group a day's jobs by
+// default rule signature, run the discovery pipeline on one representative
+// per group, and serialize the decision table into a versioned bundle for
+// steerqd. With -inspect it decodes an existing bundle instead.
+func cmdBundle(args []string) error {
+	e := newEnv("bundle")
+	day := e.fs.Int("day", 0, "day whose jobs feed the bundle")
+	maxJobs := e.fs.Int("max-jobs", 0, "cap on jobs fed to the build (0 = whole day)")
+	m := e.fs.Int("m", 300, "candidate configurations per group (M)")
+	k := e.fs.Int("k", 10, "alternatives executed per group")
+	version := e.fs.Uint64("bundle-version", 1, "version stamped into the bundle")
+	created := e.fs.Int64("created-unix", 0, "created timestamp stamped into the bundle (unix seconds; keep fixed for reproducible artifacts)")
+	out := e.fs.String("out", "", "bundle file to write")
+	inspect := e.fs.String("inspect", "", "decode and print this bundle instead of building")
+	e.fs.Parse(args)
+	if *inspect != "" {
+		return inspectBundle(*inspect)
+	}
+	if *out == "" {
+		return fmt.Errorf("bundle: -out is required (or use -inspect)")
+	}
+	if err := e.build(); err != nil {
+		return err
+	}
+	jobs := e.wl.Day(*day)
+	if *maxJobs > 0 && len(jobs) > *maxJobs {
+		jobs = jobs[:*maxJobs]
+	}
+	p := steering.NewPipeline(e.harness, xrand.New(*e.seed).Derive("cli-bundle"))
+	p.MaxCandidates = *m
+	p.ExecutePerJob = *k
+	p.Workers = *e.workers
+	p.Cache = steering.NewCompileCache()
+	p.Cache.SetObs(e.reg, "workload", *e.name)
+	p.Obs = e.reg
+	b, rep, err := p.BuildBundle(jobs, *version, *created)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("bundle v%d workload %s: %d jobs in %d groups -> %d entries (%d steered, %d fallback, %d failed)\n",
+		b.Version, b.Workload, rep.Jobs, rep.Groups, len(b.Entries), rep.Steered, rep.Fallbacks, rep.Failed)
+	fmt.Printf("wrote %s (checksum %016x)\n", *out, b.Checksum())
+	return e.finish()
+}
+
+// inspectBundle decodes a bundle file and prints its decision table.
+func inspectBundle(path string) error {
+	b, err := bundle.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	steered, fallbacks := 0, 0
+	for _, en := range b.Entries {
+		if en.Fallback {
+			fallbacks++
+		} else {
+			steered++
+		}
+	}
+	fmt.Printf("bundle v%d workload %s: %d entries (%d steered, %d fallback), checksum %016x, created %d\n",
+		b.Version, b.Workload, len(b.Entries), steered, fallbacks, b.Checksum(), b.CreatedUnix)
+	fmt.Printf("default: %s\n", b.Default.Hex())
+	for i, en := range b.Entries {
+		kind := "hit"
+		if en.Fallback {
+			kind = "fallback"
+		}
+		fmt.Printf("entry %d: %-8s sig=%s config=%s\n", i, kind, en.Signature.Hex(), en.Config.Hex())
+	}
+	return nil
+}
+
+// cmdSteer is the serving-path client: resolve a job's default rule
+// signature (or take one as -sig) and ask either a running steerqd (-addr)
+// or a bundle loaded in-process through the SDK (-bundle) for the steering
+// decision. Both paths answer from the same decision table, byte for byte.
+func cmdSteer(args []string) error {
+	e := newEnv("steer")
+	addr := e.fs.String("addr", "", "steerqd address host:port (HTTP mode)")
+	bundlePath := e.fs.String("bundle", "", "bundle file consulted in-process through the SDK")
+	sigHex := e.fs.String("sig", "", "default rule signature as hex (else resolved from -job/-script)")
+	waitReady := e.fs.Duration("wait-ready", 0, "poll the daemon's /readyz up to this long before querying (HTTP mode)")
+	e.fs.Parse(args)
+	if (*addr == "") == (*bundlePath == "") {
+		return fmt.Errorf("steer: exactly one of -addr or -bundle is required")
+	}
+
+	var sig bitvec.Vector
+	built := false
+	if *sigHex != "" {
+		v, err := bitvec.ParseHex(*sigHex)
+		if err != nil {
+			return fmt.Errorf("steer: bad -sig: %w", err)
+		}
+		sig = v
+	} else {
+		if err := e.build(); err != nil {
+			return err
+		}
+		built = true
+		j, err := e.job()
+		if err != nil {
+			return err
+		}
+		res, err := e.harness.Opt.OptimizeCost(j.Root, e.harness.Opt.Rules.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		sig = res.Signature
+		fmt.Printf("job %s\n", j.ID)
+	}
+	fmt.Printf("signature: %s\n", sig.Hex())
+
+	var version uint64
+	var kind, cfgHex string
+	if *addr != "" {
+		base := "http://" + *addr
+		if *waitReady > 0 {
+			if err := waitForReady(base, *waitReady); err != nil {
+				return err
+			}
+		}
+		resp, err := http.Get(base + serve.PathSteer + "?sig=" + sig.Hex())
+		if err != nil {
+			return fmt.Errorf("steer: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var er serve.ErrorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&er)
+			return fmt.Errorf("steer: %s returned %d: %s", *addr, resp.StatusCode, er.Error)
+		}
+		var sr serve.SteerResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return fmt.Errorf("steer: decode response: %w", err)
+		}
+		version, kind, cfgHex = sr.Version, sr.Kind, sr.Config
+	} else {
+		sdk := serve.NewSDK(e.reg)
+		if err := sdk.LoadFile(*bundlePath); err != nil {
+			return err
+		}
+		d, ok := sdk.Lookup(sig)
+		if !ok {
+			return fmt.Errorf("steer: no bundle live after load")
+		}
+		version, kind, cfgHex = d.Version, d.Kind.String(), d.Config.Hex()
+	}
+
+	fmt.Printf("version: %d kind: %s\n", version, kind)
+	fmt.Printf("config: %s\n", cfgHex)
+	if built {
+		cfg, err := bitvec.ParseHex(cfgHex)
+		if err == nil {
+			fmt.Printf("hints:\n%s", steering.HintsFor(cfg, e.harness.Opt.Rules).String())
+		}
+		return e.finish()
+	}
+	return nil
+}
+
+// waitForReady polls the daemon's readiness probe until it answers 200 or
+// the budget is exhausted. The budget is counted in poll attempts, not wall
+// time, so the client stays deterministic apart from the sleeps themselves.
+func waitForReady(base string, budget time.Duration) error {
+	const pollEvery = 50 * time.Millisecond
+	attempts := int(budget / pollEvery)
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		resp, err := http.Get(base + serve.PathReadyz)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(pollEvery)
+	}
+	return fmt.Errorf("steer: daemon at %s not ready after %v", base, budget)
 }

@@ -1,0 +1,138 @@
+// Command steerqd is the long-running steering service: it loads a versioned
+// decision-table bundle produced by the offline pipeline (`steerq bundle`)
+// and answers per-job steering lookups over HTTP.
+//
+//	steerqd -addr 127.0.0.1:7311 -bundle active.stqb [-watch 2s] [-metrics-out snap.json]
+//
+// Surface:
+//
+//	GET  /v1/steer?sig=<hex>  decision for one default rule signature
+//	GET  /v1/bundles          active bundle info
+//	POST /v1/bundles          hot-swap a new bundle (atomic; rejects keep the old table)
+//	GET  /metrics             Prometheus-style text exposition
+//	GET  /healthz             liveness (503 once draining)
+//	GET  /readyz              readiness (200 only with a live bundle)
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: the listener closes,
+// in-flight requests finish (bounded by -drain-timeout), the -metrics-out
+// snapshot is flushed, and the process exits 0. A second signal forces an
+// immediate close and exit 1. With -watch set, the bundle file is polled and
+// hot-reloaded on change; a corrupt file is rejected and the active table
+// stays live.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"steerq/internal/obs"
+	"steerq/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "steerqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("steerqd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7311", "listen address (use :0 with -addr-file for an ephemeral port)")
+	bundlePath := fs.String("bundle", "", "bundle file to load at startup (optional with -watch: the daemon waits for it)")
+	watchEvery := fs.Duration("watch", 0, "poll the -bundle file at this interval and hot-reload on change (0 = off)")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (written atomically)")
+	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot on exit (.prom/.txt = text exposition, else JSON)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain (0 = wait forever)")
+	fs.Parse(args)
+
+	reg := obs.NewWithClock(obs.ClockFromEnv())
+	sdk := serve.NewSDK(reg)
+	srv := serve.NewServer(sdk, reg)
+
+	if *bundlePath != "" {
+		if err := sdk.LoadFile(*bundlePath); err != nil {
+			if *watchEvery <= 0 {
+				return err
+			}
+			// With a watcher the daemon can start ahead of its first bundle:
+			// readiness stays 503 until a good file lands.
+			fmt.Fprintln(os.Stderr, "steerqd: initial bundle not loaded, waiting for the watcher:", err)
+		} else {
+			t := sdk.Active()
+			fmt.Fprintf(os.Stderr, "steerqd: bundle v%d (%s, %d entries, %016x) loaded\n",
+				t.Version(), t.Workload(), t.Len(), t.Checksum())
+		}
+	}
+
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "steerqd: serving on http://%s (state %s)\n", srv.Addr(), srv.State())
+	if *addrFile != "" {
+		if err := writeFileAtomic(*addrFile, []byte(srv.Addr()+"\n")); err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if *watchEvery > 0 && *bundlePath != "" {
+		go sdk.Watch(watchCtx, *bundlePath, *watchEvery, func(err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "steerqd: bundle reload rejected:", err)
+				return
+			}
+			t := sdk.Active()
+			fmt.Fprintf(os.Stderr, "steerqd: hot-reloaded bundle v%d (%d entries, %016x)\n",
+				t.Version(), t.Len(), t.Checksum())
+		})
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	forced := srv.DrainOnSignal(sig, *drainTimeout)
+	stopWatch()
+	if forced {
+		fmt.Fprintln(os.Stderr, "steerqd: second signal, forced shutdown")
+	} else {
+		fmt.Fprintln(os.Stderr, "steerqd: drained")
+	}
+
+	if *metricsOut != "" {
+		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
+			return fmt.Errorf("flush metrics: %w", err)
+		}
+	}
+	if forced {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data via a temp file and rename, so a reader polling
+// for the address file never observes a partial write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".addr-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -44,6 +44,16 @@ type Trial struct {
 	FellBack bool
 }
 
+// Steerer is the in-process steering surface: given a job's default rule
+// signature, it returns the rule configuration the serving tier recommends
+// for that job group. serve.SDK implements it over the active bundle's
+// decision table; this interface keeps abtest free of the serving
+// dependency while letting the executor consult steering without HTTP —
+// the embedded-SDK deployment shape from the paper's production successor.
+type Steerer interface {
+	Decide(sig bitvec.Vector) (cfg bitvec.Vector, ok bool)
+}
+
 // Harness re-executes plans with pinned resources. Its methods are safe for
 // concurrent use: the optimizer and executor keep no cross-call state,
 // execution noise is derived from (seed, jobTag, day), and fault decisions
@@ -78,6 +88,11 @@ type Harness struct {
 	// attempt counters. Assign it together with Executor.SetObs (see
 	// SetObs) so the whole trial reports into one registry.
 	Obs *obs.Registry
+
+	// Steer, when non-nil, is consulted by RunSteered with each job's
+	// default rule signature; the trial then compiles under the returned
+	// configuration instead of the default.
+	Steer Steerer
 }
 
 // New builds a harness; the executor is configured with the standard
@@ -178,6 +193,35 @@ func (h *Harness) RunConfigCtx(ctx context.Context, root *plan.Node, cfg bitvec.
 		t.Metrics = exec.Metrics{}
 	}
 	return t
+}
+
+// RunSteered executes the job the way a steered cluster would: compile the
+// default configuration far enough to learn the job's rule signature, ask
+// the Steerer for that group's recommended configuration, and run the trial
+// under it. The boolean reports whether the trial was actually steered away
+// from the default; with no Steerer wired (or no bundle live) the job runs
+// unsteered, exactly as before deployment.
+func (h *Harness) RunSteered(root *plan.Node, day int, jobTag string) (Trial, bool) {
+	return h.RunSteeredCtx(context.Background(), root, day, jobTag, nil)
+}
+
+// RunSteeredCtx is RunSteered bounded by a context, with the same fault
+// record contract as RunConfigCtx. The signature probe is a plan-less
+// compile (OptimizeCost); if it fails, the job falls through to the
+// unsteered path and RunConfigCtx surfaces the error with full retry
+// handling.
+func (h *Harness) RunSteeredCtx(ctx context.Context, root *plan.Node, day int, jobTag string, rec *faults.Record) (Trial, bool) {
+	cfg := h.Opt.Rules.DefaultConfig()
+	steered := false
+	if h.Steer != nil {
+		if res, err := h.Opt.OptimizeCost(root, cfg); err == nil {
+			if sc, ok := h.Steer.Decide(res.Signature); ok && !sc.Equal(cfg) {
+				cfg = sc
+				steered = true
+			}
+		}
+	}
+	return h.RunConfigCtx(ctx, root, cfg, day, jobTag, rec), steered
 }
 
 // RunConfigs executes the job under every configuration, returning trials in

@@ -1,0 +1,231 @@
+package bundle
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/xrand"
+)
+
+// randVec draws a vector with roughly density×Width bits set.
+func randVec(r *xrand.Source, density float64) bitvec.Vector {
+	var v bitvec.Vector
+	for i := 0; i < bitvec.Width; i++ {
+		if r.Bool(density) {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// randBundle builds a structurally valid bundle with n distinct entries.
+func randBundle(r *xrand.Source, n int) *Bundle {
+	b := &Bundle{
+		Version:     uint64(r.Intn(1000)) + 1,
+		CreatedUnix: int64(r.Intn(1 << 30)),
+		Workload:    "A",
+		Default:     randVec(r, 0.5),
+	}
+	seen := make(map[bitvec.Key]bool)
+	for len(b.Entries) < n {
+		sig := randVec(r, 0.3)
+		if seen[sig.Key()] {
+			continue
+		}
+		seen[sig.Key()] = true
+		b.Entries = append(b.Entries, Entry{
+			Signature: sig,
+			Config:    randVec(r, 0.5),
+			Fallback:  r.Bool(0.25),
+		})
+	}
+	return b
+}
+
+// sameDecisions compares two bundles up to entry order.
+func sameDecisions(a, b *Bundle) bool {
+	if a.Version != b.Version || a.CreatedUnix != b.CreatedUnix ||
+		a.Workload != b.Workload || !a.Default.Equal(b.Default) ||
+		len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	byKey := make(map[bitvec.Key]Entry, len(a.Entries))
+	for _, e := range a.Entries {
+		byKey[e.Signature.Key()] = e
+	}
+	for _, e := range b.Entries {
+		o, ok := byKey[e.Signature.Key()]
+		if !ok || !o.Config.Equal(e.Config) || o.Fallback != e.Fallback {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := xrand.New(41).Derive("bundle-roundtrip")
+	for i := 0; i < 50; i++ {
+		b := randBundle(r, r.Intn(20))
+		data, err := b.Encode()
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !sameDecisions(b, got) {
+			t.Fatalf("case %d: decisions changed across the round trip", i)
+		}
+		if got.Checksum() != b.Checksum() || got.Checksum() == 0 {
+			t.Fatalf("case %d: checksum %016x vs %016x", i, got.Checksum(), b.Checksum())
+		}
+		// Canonical form: re-encoding a decoded bundle is the identity.
+		again, err := got.Encode()
+		if err != nil {
+			t.Fatalf("case %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("case %d: re-encoded bytes differ", i)
+		}
+	}
+}
+
+func TestEncodeCanonicalizesEntryOrder(t *testing.T) {
+	r := xrand.New(42).Derive("bundle-canon")
+	b := randBundle(r, 12)
+	data1, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := &Bundle{Version: b.Version, CreatedUnix: b.CreatedUnix, Workload: b.Workload, Default: b.Default}
+	for i := len(b.Entries) - 1; i >= 0; i-- {
+		rev.Entries = append(rev.Entries, b.Entries[i])
+	}
+	data2, err := rev.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("entry order leaked into the encoding")
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	dup := &Bundle{Workload: "A"}
+	sig := bitvec.New(1, 2, 3)
+	dup.Entries = []Entry{{Signature: sig}, {Signature: sig, Fallback: true}}
+	if _, err := dup.Encode(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("duplicate signatures: got %v, want ErrFormat", err)
+	}
+	long := &Bundle{Workload: string(make([]byte, MaxWorkloadLen+1))}
+	if _, err := long.Encode(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("oversized workload name: got %v, want ErrFormat", err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	r := xrand.New(43).Derive("bundle-reject")
+	b := randBundle(r, 5)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"empty", func(d []byte) []byte { return nil }, ErrFormat},
+		{"bad magic", func(d []byte) []byte { d[0] ^= 0xff; return d }, ErrFormat},
+		{"unknown format version", func(d []byte) []byte { d[4] = 99; return d }, ErrFormat},
+		{"truncated header", func(d []byte) []byte { return d[:10] }, ErrFormat},
+		{"truncated entries", func(d []byte) []byte { return d[:len(d)-20] }, ErrFormat},
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0) }, ErrFormat},
+		{"flipped payload byte", func(d []byte) []byte { d[len(d)-20] ^= 1; return d }, ErrChecksum},
+		{"flipped checksum byte", func(d []byte) []byte { d[len(d)-1] ^= 1; return d }, ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.mutate(append([]byte(nil), data...))
+			if _, err := Decode(in); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsUnsortedEntries hand-corrupts the entry order and repairs
+// the checksum, so only the sortedness check can catch it.
+func TestDecodeRejectsUnsortedEntries(t *testing.T) {
+	r := xrand.New(44).Derive("bundle-unsorted")
+	b := randBundle(r, 4)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the first two entries in place.
+	start := len(data) - checksumBytes - len(b.Entries)*entryBytes
+	e0 := append([]byte(nil), data[start:start+entryBytes]...)
+	copy(data[start:], data[start+entryBytes:start+2*entryBytes])
+	copy(data[start+entryBytes:], e0)
+	// Repair the checksum over the mutated payload.
+	sum := fnvSum(data[:len(data)-checksumBytes])
+	for i := 0; i < checksumBytes; i++ {
+		data[len(data)-checksumBytes+i] = byte(sum >> (8 * i))
+	}
+	if _, err := Decode(data); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unsorted entries: got %v, want ErrFormat", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "steer.bundle")
+	r := xrand.New(45).Derive("bundle-file")
+	b := randBundle(r, 7)
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecisions(b, got) {
+		t.Fatal("file round trip changed decisions")
+	}
+	// No temp files left behind by the atomic write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("stray files after WriteFile: %v", names)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("reading a missing file succeeded")
+	}
+}
+
+func TestZeroBundleRoundTrip(t *testing.T) {
+	b := &Bundle{}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 0 || got.Version != 0 || got.Workload != "" {
+		t.Fatalf("zero bundle decoded as %+v", got)
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/bundle"
+	"steerq/internal/xrand"
+)
+
+// vec builds a vector with exactly the given bits set.
+func vec(bits ...int) bitvec.Vector {
+	return bitvec.New(bits...)
+}
+
+// testBundle builds a deterministic bundle with n entries whose configs
+// depend on version — the hot-reload tests use that dependence to detect
+// torn (version, config) pairs. Entry i's signature is stable across
+// versions; its config carries the version in its low bits. Every third
+// entry is a fallback pinned to the default configuration.
+func testBundle(t *testing.T, version uint64, n int) *bundle.Bundle {
+	t.Helper()
+	b := &bundle.Bundle{
+		Version:     version,
+		CreatedUnix: 1700000000,
+		Workload:    "W",
+		Default:     vec(200, 201),
+	}
+	for i := 0; i < n; i++ {
+		e := bundle.Entry{Signature: sigFor(i)}
+		if i%3 == 2 {
+			e.Config, e.Fallback = b.Default, true
+		} else {
+			e.Config = configFor(version, i)
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	if _, err := b.Encode(); err != nil {
+		t.Fatalf("encode test bundle: %v", err)
+	}
+	return b
+}
+
+// sigFor is entry i's signature, stable across bundle versions.
+func sigFor(i int) bitvec.Vector {
+	v := vec(100)
+	r := xrand.New(uint64(i)).Derive("sig")
+	for j := 0; j < 4; j++ {
+		v.Set(r.Intn(90))
+	}
+	v.Set(90 + i%10)
+	return v
+}
+
+// configFor is entry i's steered config in the given bundle version.
+func configFor(version uint64, i int) bitvec.Vector {
+	v := vec(150, 151+i%8)
+	if version%2 == 0 {
+		v.Set(160)
+	} else {
+		v.Set(161)
+	}
+	return v
+}
+
+// encodeBundle encodes b, failing the test on error.
+func encodeBundle(t *testing.T, b *bundle.Bundle) []byte {
+	t.Helper()
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}

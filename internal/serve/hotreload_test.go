@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/bundle"
+	"steerq/internal/obs"
+)
+
+// expectedConfigs maps (version, signature) -> config hex for the synthetic
+// v1/v2 bundles, the oracle the atomicity tests check every decision
+// against: whatever version a decision reports, its config must be exactly
+// that version's config for the signature. A mixture would be a torn read.
+func expectedConfigs(bundles ...*bundle.Bundle) map[uint64]map[bitvec.Key]string {
+	exp := make(map[uint64]map[bitvec.Key]string)
+	for _, b := range bundles {
+		m := make(map[bitvec.Key]string)
+		for _, e := range b.Entries {
+			m[e.Signature.Key()] = e.Config.Hex()
+		}
+		exp[b.Version] = m
+	}
+	return exp
+}
+
+// TestHotReloadAtomicSDK hammers Lookup from many goroutines while the main
+// goroutine swaps between two bundle versions. Run under -race in CI; the
+// oracle check catches torn (version, config) pairs even without it.
+func TestHotReloadAtomicSDK(t *testing.T) {
+	const (
+		entries  = 8
+		readers  = 8
+		swaps    = 200
+		loopsPer = 4000
+	)
+	v1 := testBundle(t, 1, entries)
+	v2 := testBundle(t, 2, entries)
+	exp := expectedConfigs(v1, v2)
+
+	sdk := NewSDK(obs.NewWithClock(obs.FrozenClock()))
+	if err := sdk.Load(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < loopsPer && !stop.Load(); i++ {
+				sig := v1.Entries[(r+i)%entries].Signature
+				d, ok := sdk.Lookup(sig)
+				if !ok {
+					errs <- "lookup lost the table mid-swap"
+					return
+				}
+				if d.Version != 1 && d.Version != 2 {
+					errs <- "impossible version"
+					return
+				}
+				if want := exp[d.Version][sig.Key()]; d.Config.Hex() != want {
+					errs <- "torn read: config does not match reported version"
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < swaps; i++ {
+		b := v1
+		if i%2 == 0 {
+			b = v2
+		}
+		if err := sdk.Load(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestHotReloadAtomicHTTP is the same oracle over the daemon surface:
+// readers hammer GET /v1/steer while a writer alternates POST /v1/bundles
+// uploads, with corrupt uploads interleaved. Every response must be
+// internally consistent and corrupt uploads must never interrupt serving.
+func TestHotReloadAtomicHTTP(t *testing.T) {
+	const (
+		entries = 6
+		readers = 4
+		swaps   = 30
+	)
+	v1 := testBundle(t, 1, entries)
+	v2 := testBundle(t, 2, entries)
+	exp := expectedConfigs(v1, v2)
+	enc1, enc2 := encodeBundle(t, v1), encodeBundle(t, v2)
+
+	reg := obs.NewWithClock(obs.FrozenClock())
+	s, base := startServer(t, reg)
+	if err := s.SDK().Load(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				sig := v1.Entries[(r+i)%entries].Signature
+				resp, err := http.Get(base + PathSteer + "?sig=" + sig.Hex())
+				if err != nil {
+					errs <- "steer request failed: " + err.Error()
+					return
+				}
+				var sr SteerResponse
+				derr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if derr != nil || resp.StatusCode != 200 {
+					errs <- "steer response broke during swaps"
+					return
+				}
+				if want := exp[sr.Version][sig.Key()]; sr.Config != want {
+					errs <- "torn read over HTTP"
+					return
+				}
+			}
+		}(r)
+	}
+
+	post := func(data []byte, wantCode int) {
+		t.Helper()
+		resp, err := http.Post(base+PathBundles, "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST bundle code %d, want %d", resp.StatusCode, wantCode)
+		}
+	}
+	for i := 0; i < swaps; i++ {
+		if i%2 == 0 {
+			post(enc2, 200)
+		} else {
+			post(enc1, 200)
+		}
+		if i%5 == 0 {
+			// A corrupt upload mid-hammer: rejected, serving uninterrupted.
+			post(enc1[:len(enc1)/3], 400)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// The last accepted upload is still the active one.
+	code, body := get(t, base+PathBundles)
+	if code != 200 || !strings.Contains(body, `"version":1`) {
+		t.Fatalf("active bundle after hammer: %d %s", code, body)
+	}
+}

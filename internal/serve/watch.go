@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// Watch polls path every interval and hot-reloads the bundle whenever the
+// file's (mtime, size) pair changes — the offline pipeline writes bundles
+// with an atomic rename, so a change is always a complete artifact. A file
+// that fails to decode is rejected (counted on the rejected counter) and
+// the active table stays live; the watcher keeps polling, so a later good
+// write recovers automatically. Watch blocks until ctx is canceled.
+//
+// onSwap, when non-nil, is invoked after each load attempt with the path's
+// error (nil on a successful swap) — the daemon logs through it.
+func (s *SDK) Watch(ctx context.Context, path string, interval time.Duration, onSwap func(error)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	// The poll cadence is operational, not part of any deterministic
+	// output; lookups and goldens never observe it.
+	// steerq:allow-wallclock — operational poll cadence only.
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastMod time.Time
+	lastSize := int64(-1)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fi, err := os.Stat(path)
+			if err != nil {
+				continue
+			}
+			if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+				continue
+			}
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			err = s.LoadFile(path)
+			if onSwap != nil {
+				onSwap(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"steerq/internal/obs"
+)
+
+// TestWatchReloadsRejectsAndRecovers walks the watcher through its whole
+// contract on one file: pick up the initial bundle, pick up a replacement,
+// reject a corrupt overwrite without dropping the active table, and recover
+// when a good bundle lands again.
+func TestWatchReloadsRejectsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "active.stqb")
+	if err := testBundle(t, 1, 3).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	sdk := NewSDK(obs.NewWithClock(obs.FrozenClock()))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	swaps := make(chan error, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sdk.Watch(ctx, path, 5*time.Millisecond, func(err error) { swaps <- err })
+	}()
+
+	waitSwap := func(stage string, wantErr bool) {
+		t.Helper()
+		select {
+		case err := <-swaps:
+			if (err != nil) != wantErr {
+				t.Fatalf("%s: swap error %v, wantErr=%v", stage, err, wantErr)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: watcher never reacted", stage)
+		}
+	}
+
+	waitSwap("initial load", false)
+	if v := sdk.Active().Version(); v != 1 {
+		t.Fatalf("initial version %d", v)
+	}
+
+	if err := testBundle(t, 2, 3).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	waitSwap("reload", false)
+	if v := sdk.Active().Version(); v != 2 {
+		t.Fatalf("reloaded version %d", v)
+	}
+
+	// A corrupt overwrite (different size, so the stat check fires) is
+	// rejected; the v2 table stays live.
+	if err := os.WriteFile(path, []byte("scribbled over by a bad deploy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitSwap("corrupt overwrite", true)
+	if v := sdk.Active().Version(); v != 2 {
+		t.Fatalf("corrupt overwrite displaced the table: version %d", v)
+	}
+
+	// The watcher keeps polling, so the next good write recovers.
+	if err := testBundle(t, 3, 4).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	waitSwap("recovery", false)
+	if v := sdk.Active().Version(); v != 3 {
+		t.Fatalf("recovered version %d", v)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop on context cancel")
+	}
+}
+
+// TestWatchMissingFile starts the watcher on a path that does not exist yet:
+// it must idle without error reports and load the bundle when it appears.
+func TestWatchMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "late.stqb")
+	sdk := NewSDK(obs.NewWithClock(obs.FrozenClock()))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	swaps := make(chan error, 8)
+	go sdk.Watch(ctx, path, 5*time.Millisecond, func(err error) { swaps <- err })
+
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case err := <-swaps:
+		t.Fatalf("swap callback before the file exists: %v", err)
+	default:
+	}
+	if sdk.Ready() {
+		t.Fatal("ready with no file")
+	}
+
+	if err := testBundle(t, 4, 2).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-swaps:
+		if err != nil {
+			t.Fatalf("late file load: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never picked up the late file")
+	}
+	if v := sdk.Active().Version(); v != 4 {
+		t.Fatalf("late-file version %d", v)
+	}
+}

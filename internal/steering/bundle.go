@@ -1,0 +1,86 @@
+package steering
+
+import (
+	"context"
+	"fmt"
+
+	"steerq/internal/bundle"
+	"steerq/internal/workload"
+)
+
+// BundleReport summarizes one offline bundle build: how the workload's job
+// groups resolved into bundle entries.
+type BundleReport struct {
+	// Jobs is the number of jobs grouped.
+	Jobs int
+	// Groups is the number of rule-signature job groups (== bundle entries).
+	Groups int
+	// Steered counts groups whose analysis found an improving configuration.
+	Steered int
+	// Fallbacks counts groups deliberately pinned to the default
+	// configuration (analyzed, no improvement found).
+	Fallbacks int
+	// Failed counts groups whose representative analysis failed (only
+	// possible under fault injection); they are recorded as fallback
+	// entries so serving stays safe.
+	Failed int
+}
+
+// BuildBundle runs the offline "bundle build" step: group the jobs by
+// default rule signature (Definition 6.2), analyze one representative per
+// group through the full discovery pipeline, and serialize the per-group
+// best-configuration decisions into a versioned bundle for the serving
+// tier. See BuildBundleCtx.
+func (p *Pipeline) BuildBundle(jobs []*workload.Job, version uint64, createdUnix int64) (*bundle.Bundle, BundleReport, error) {
+	return p.BuildBundleCtx(context.Background(), jobs, version, createdUnix)
+}
+
+// BuildBundleCtx is BuildBundle bounded by a context.
+//
+// Every group gets exactly one entry: the span-minimized best alternative
+// when the analysis found a runtime improvement (see MinimalConfig), and an
+// explicit fallback entry pinning the default configuration otherwise —
+// including when the representative's analysis failed under fault
+// injection, because a bundle must never steer a group on no evidence.
+// Groups are analyzed in their deterministic sorted order and the bundle
+// encoding is canonical, so the artifact is byte-identical at any Workers
+// count (the serving-equivalence suite asserts this).
+func (p *Pipeline) BuildBundleCtx(ctx context.Context, jobs []*workload.Job, version uint64, createdUnix int64) (*bundle.Bundle, BundleReport, error) {
+	rep := BundleReport{Jobs: len(jobs)}
+	g := NewGrouper(p.Harness)
+	groups, err := g.Group(jobs)
+	if err != nil {
+		return nil, rep, fmt.Errorf("steering: bundle build: %w", err)
+	}
+	rep.Groups = len(groups)
+	rs := p.Harness.Opt.Rules
+	b := &bundle.Bundle{Version: version, CreatedUnix: createdUnix, Default: rs.DefaultConfig()}
+	if len(jobs) > 0 {
+		b.Workload = jobs[0].Workload
+	}
+	for _, grp := range groups {
+		e := bundle.Entry{Signature: grp.Signature, Config: rs.DefaultConfig(), Fallback: true}
+		a, aerr := p.AnalyzeCtx(ctx, grp.Jobs[0])
+		switch {
+		case aerr != nil && ctx.Err() != nil:
+			return nil, rep, fmt.Errorf("steering: bundle build: %w", aerr)
+		case aerr != nil:
+			rep.Failed++
+		default:
+			if cfg, ok := MinimalConfig(a, rs); ok {
+				e.Config, e.Fallback = cfg, false
+				rep.Steered++
+			} else {
+				rep.Fallbacks++
+			}
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	// Encode once to stamp the content checksum, so consumers that load the
+	// in-memory bundle directly (tests, the CLI printing the hash) see the
+	// same identity a file round trip would.
+	if _, err := b.Encode(); err != nil {
+		return nil, rep, fmt.Errorf("steering: bundle build: %w", err)
+	}
+	return b, rep, nil
+}

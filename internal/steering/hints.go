@@ -128,24 +128,35 @@ type Recommendation struct {
 	SteeredRuntimeSec float64 `json:"steered_runtime_sec"`
 }
 
-// Recommend builds the recommendation for an analysis whose best alternative
-// beats the default. Returns nil when no alternative improved the runtime.
-//
-// The recommended configuration is *minimized* against the job span: rules
-// outside the span cannot affect the plan (Definition 5.1), so their bits are
-// reset to the default — the customer-facing hint then names only the
-// toggles that matter. (If the span heuristic missed a dependency, the
-// minimized configuration can compile slightly differently from the measured
-// one; the paper accepts the same limitation, §5.1.)
-func Recommend(a *Analysis, rs *cascades.RuleSet) *Recommendation {
+// MinimalConfig returns the deployable configuration for an analysis whose
+// best alternative beats the default, minimized against the job span: rules
+// outside the span cannot affect the plan (Definition 5.1), so their bits
+// are reset to the default — the customer-facing hint and the bundle entry
+// then carry only the toggles that matter. (If the span heuristic missed a
+// dependency, the minimized configuration can compile slightly differently
+// from the measured one; the paper accepts the same limitation, §5.1.)
+// Reports false when no alternative improved the runtime.
+func MinimalConfig(a *Analysis, rs *cascades.RuleSet) (bitvec.Vector, bool) {
 	best := a.BestAlternative(MetricRuntime)
 	if best == nil || best.Metrics.RuntimeSec >= a.Default.Metrics.RuntimeSec {
-		return nil
+		return bitvec.Vector{}, false
 	}
 	minimal := rs.DefaultConfig()
 	for _, id := range a.Span.Ones() {
 		minimal.Assign(id, best.Config.Get(id))
 	}
+	return minimal, true
+}
+
+// Recommend builds the recommendation for an analysis whose best alternative
+// beats the default (see MinimalConfig). Returns nil when no alternative
+// improved the runtime.
+func Recommend(a *Analysis, rs *cascades.RuleSet) *Recommendation {
+	minimal, ok := MinimalConfig(a, rs)
+	if !ok {
+		return nil
+	}
+	best := a.BestAlternative(MetricRuntime)
 	return &Recommendation{
 		Workload:          a.Job.Workload,
 		BaseJob:           a.Job.ID,
