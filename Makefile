@@ -36,19 +36,26 @@ fuzz:
 # bench runs the pipeline benchmarks and regenerates BENCH_pipeline.json
 # (ns/op, allocs/op, cache hit rate, serial-vs-parallel speedup, and the
 # workers-1/2/4/8 Zipf scaling sweep on this machine) so PRs carry a perf
-# trajectory. On machines with fewer cores than workers the parallel legs
-# are forced and annotated oversubscribed rather than skipped.
+# trajectory, then regenerates BENCH_serving.json (serving-path load legs:
+# workers-1/2/4/8 saturation sweeps, paced diurnal/burst shape legs with
+# coordinated-omission-corrected percentiles, and a loopback steerqd leg).
+# On machines with fewer cores than workers the parallel legs are forced and
+# annotated oversubscribed rather than skipped.
 bench:
 	go test -run '^$$' -bench 'BenchmarkPipeline' -benchmem .
 	STEERQ_BENCH_FORCE_PARALLEL=1 go run ./cmd/steerq-bench -perf -perf-out BENCH_pipeline.json
+	go run ./cmd/steerq-bench -serving -serving-out BENCH_serving.json
 
-# bench-compare diffs an older report against the current BENCH_pipeline.json
-# and exits nonzero on a regression past the thresholds (ns/op, allocs/op,
-# and scaling-sweep speedup at the highest worker count). Usage:
-#   make bench-compare OLD=path/to/old/BENCH_pipeline.json
+# bench-compare diffs older reports against the current BENCH_pipeline.json
+# and BENCH_serving.json and exits nonzero on a regression past the
+# thresholds (ns/op, allocs/op, scaling-sweep speedup, and serving achieved
+# QPS at the highest worker count). Usage:
+#   make bench-compare OLD=old/BENCH_pipeline.json OLD_SERVING=old/BENCH_serving.json
 OLD ?= BENCH_pipeline.json
+OLD_SERVING ?= BENCH_serving.json
 bench-compare:
 	go run ./cmd/steerq-bench -compare $(OLD) -perf-out BENCH_pipeline.json
+	go run ./cmd/steerq-bench -compare-serving $(OLD_SERVING) -serving-out BENCH_serving.json
 
 ci:
 	./ci.sh

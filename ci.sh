@@ -25,7 +25,10 @@
 #   9. coverage floor            go test -cover over the robustness- and
 #                                observability-critical packages (faults, par,
 #                                steering, obs, learning, nn, analysis, serve,
-#                                bundle) with an 80% per-package floor
+#                                bundle) with an 80% per-package floor, and
+#                                internal/loadgen with a 90% floor — the load
+#                                harness is itself test infrastructure, so it
+#                                is held to the higher bar
 #  10. fault-injection smoke     one pipeline run with a pinned fault seed and
 #                                plan checking on: it must complete with every
 #                                faulted job surviving via retry or fallback
@@ -42,7 +45,15 @@
 #                                drain the daemon with SIGTERM, and diff its
 #                                frozen-clock metrics snapshot against the
 #                                committed ci_serving.golden.json
-#  13. perf stamp smoke          a tiny steerq-bench -perf -perf-quick run
+#  13. serving load smoke        a pinned-seed steerq-bench -serving run under
+#                                the frozen virtual clock: the whole
+#                                BENCH_serving.json report (arrival schedules,
+#                                decision mixes, worker sweep) must be
+#                                byte-identical to the committed golden, the
+#                                -compare-serving self-diff must pass, and an
+#                                injected throughput collapse must trip the
+#                                gate once the virtual-report skip is removed
+#  14. perf stamp smoke          a tiny steerq-bench -perf -perf-quick run
 #                                under the frozen clock with
 #                                STEERQ_BENCH_FORCE_PARALLEL=1: the report's
 #                                generated_unix stamp must be 0 (reports are
@@ -51,16 +62,16 @@
 #                                skipped; oversubscribed runs are annotated,
 #                                not dropped), and the workers-1/2/4/8
 #                                scaling sweep must be present
-#  14. bench compare smoke       steerq-bench -compare self-diffs the stage-13
+#  15. bench compare smoke       steerq-bench -compare self-diffs the stage-14
 #                                report (a report never regresses against
 #                                itself) and then must flag an injected 10x
 #                                serial regression — both the zero-delta and
 #                                the gate-trips paths are exercised
-#  15. short fuzz pass           45s total over the scopeql parser/binder
+#  16. short fuzz pass           45s total over the scopeql parser/binder
 #                                (including the parse-print-parse round trip)
 #                                and the bundle decoder
 #
-# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 15 (e.g. on very slow machines).
+# Set STEERQ_CI_SKIP_FUZZ=1 to skip stage 16 (e.g. on very slow machines).
 set -eu
 
 echo "== build =="
@@ -112,6 +123,19 @@ awk '
     END { exit bad }
 ' /tmp/steerq-cover.$$
 rm -f /tmp/steerq-cover.$$
+
+echo "== coverage floor (loadgen >= 90%) =="
+go test -cover ./internal/loadgen/ > /tmp/steerq-cover-load.$$
+cat /tmp/steerq-cover-load.$$
+awk '
+    /coverage:/ {
+        pct = 0
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { pct = $i; sub(/%/, "", pct) }
+        if (pct + 0 < 90) { printf "coverage below 90%% floor: %s\n", $0; bad = 1 }
+    }
+    END { exit bad }
+' /tmp/steerq-cover-load.$$
+rm -f /tmp/steerq-cover-load.$$
 
 echo "== fault-injection smoke (pinned seed 1337) =="
 STEERQ_CHECK_PLANS=1 go run ./cmd/steerq pipeline -workload A -job 0/3 -m 60 -k 5 -workers 4 -fault-seed 1337 > /tmp/steerq-faults.$$
@@ -181,6 +205,33 @@ diff -u cmd/steerqd/testdata/ci_serving.golden.json "$servdir/serving.json" || {
     exit 1
 }
 rm -rf "$servdir"
+
+echo "== serving load smoke (frozen clock, pinned seed) =="
+# The whole report — bundle checksum, arrival counts, decision mixes, worker
+# sweep — must reproduce byte for byte under the frozen virtual clock.
+STEERQ_VCLOCK=1 go run ./cmd/steerq-bench -serving -serving-quick \
+    -scale 0.002 -m 40 -serving-out /tmp/steerq-serving.$$.json > /dev/null
+diff -u cmd/steerq-bench/testdata/ci_serving_load.golden.json /tmp/steerq-serving.$$.json || {
+    echo "serving load smoke: BENCH_serving.json drifted from committed golden" >&2
+    echo "(if the change is intentional, regenerate with the command above)" >&2
+    rm -f /tmp/steerq-serving.$$.json
+    exit 1
+}
+# A report diffed against itself never regresses.
+go run ./cmd/steerq-bench -compare-serving /tmp/steerq-serving.$$.json \
+    -serving-out /tmp/steerq-serving.$$.json > /dev/null
+# With the virtual-report skip removed and the old report claiming enormous
+# throughput, the achieved-QPS gate must trip (exit nonzero).
+sed '/"virtual": true,/d' /tmp/steerq-serving.$$.json > /tmp/steerq-serving-real.$$.json
+sed -E 's/"achieved_qps": [0-9.]+/"achieved_qps": 1000000/' \
+    /tmp/steerq-serving-real.$$.json > /tmp/steerq-serving-old.$$.json
+if go run ./cmd/steerq-bench -compare-serving /tmp/steerq-serving-old.$$.json \
+    -serving-out /tmp/steerq-serving-real.$$.json > /dev/null 2>&1; then
+    echo "serving load smoke: injected throughput collapse was not flagged" >&2
+    rm -f /tmp/steerq-serving.$$.json /tmp/steerq-serving-real.$$.json /tmp/steerq-serving-old.$$.json
+    exit 1
+fi
+rm -f /tmp/steerq-serving.$$.json /tmp/steerq-serving-real.$$.json /tmp/steerq-serving-old.$$.json
 
 echo "== perf stamp smoke (frozen clock, forced parallel) =="
 STEERQ_VCLOCK=1 STEERQ_BENCH_FORCE_PARALLEL=1 go run ./cmd/steerq-bench \

@@ -9,6 +9,8 @@
 //	steerq-bench [-scale 0.01] [-seed 2021] [-m 300] [-workers N] [-exp all|table1..table5|fig1..fig8|ablations|extensions] [-v]
 //	steerq-bench -perf [-perf-out BENCH_pipeline.json] [-workers 4] [-scale 0.01] [-m 300] [-zipf 1.1] [-perf-quick]
 //	steerq-bench -compare old.json [-perf-out new.json] [-compare-ns-threshold 10] [-compare-allocs-threshold 10] [-compare-speedup-threshold 10]
+//	steerq-bench -serving [-serving-out BENCH_serving.json] [-serving-qps 2000] [-serving-duration 2s] [-zipf 1.1] [-serving-quick]
+//	steerq-bench -compare-serving old.json [-serving-out new.json] [-compare-serving-qps-threshold 10]
 package main
 
 import (
@@ -46,6 +48,13 @@ func realMain() int {
 		compareNs  = flag.Float64("compare-ns-threshold", 10.0, "with -compare, max tolerated ns/op regression in percent")
 		compareAl  = flag.Float64("compare-allocs-threshold", 10.0, "with -compare, max tolerated allocs/op regression in percent")
 		compareSp  = flag.Float64("compare-speedup-threshold", 10.0, "with -compare, max tolerated scaling-sweep speedup regression at the highest worker count, in percent")
+		serving    = flag.Bool("serving", false, "measure the serving path under deterministic open-loop load instead of running experiments")
+		servingOut = flag.String("serving-out", "BENCH_serving.json", "output path for the -serving JSON report")
+		servingQPS = flag.Float64("serving-qps", 2000, "with -serving, mean offered arrival rate per leg")
+		servingDur = flag.Duration("serving-duration", 2*time.Second, "with -serving, arrival-timeline length per leg")
+		servingQk  = flag.Bool("serving-quick", false, "with -serving, shrink the offered load and bundle feed (CI smoke)")
+		compareSv  = flag.String("compare-serving", "", "diff this old BENCH_serving.json against -serving-out and exit nonzero on regression past the threshold")
+		compareSQ  = flag.Float64("compare-serving-qps-threshold", 10.0, "with -compare-serving, max tolerated achieved-QPS regression at the highest worker count, in percent")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file on exit")
 		faultSeed  = flag.String("fault-seed", "", "arm deterministic fault injection with this seed (empty = $STEERQ_FAULT_SEED or off)")
@@ -96,6 +105,22 @@ func realMain() int {
 
 	if *compareOld != "" {
 		if err := runCompare(*compareOld, *perfOut, *compareNs, *compareAl, *compareSp); err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *compareSv != "" {
+		if err := runCompareServing(*compareSv, *servingOut, *compareSQ); err != nil {
+			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *serving {
+		if err := runServing(*scale, *seed, *m, *zipf, *servingQPS, *servingDur, *servingQk, *servingOut); err != nil {
 			fmt.Fprintln(os.Stderr, "steerq-bench:", err)
 			return 1
 		}

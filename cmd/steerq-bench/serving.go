@@ -1,0 +1,456 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/experiments"
+	"steerq/internal/loadgen"
+	"steerq/internal/obs"
+	"steerq/internal/serve"
+	"steerq/internal/workload"
+)
+
+// servingLeg is one measured load leg of the serving benchmark: a schedule
+// replayed against one target at one worker count, with the merged decision
+// mix and the coordinated-omission-corrected latency percentiles.
+type servingLeg struct {
+	Name      string  `json:"name"`
+	Transport string  `json:"transport"` // "sdk" or "http"
+	Shape     string  `json:"shape"`     // "flat", "diurnal", "burst"
+	ZipfSkew  float64 `json:"zipf_skew"`
+	Workers   int     `json:"workers"`
+	Paced     bool    `json:"paced,omitempty"`
+
+	Arrivals  int   `json:"arrivals"`
+	Completed int64 `json:"completed"`
+	Errors    int64 `json:"errors"`
+	Hits      int64 `json:"hits"`
+	Fallbacks int64 `json:"fallbacks"`
+	Defaults  int64 `json:"defaults"`
+
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+
+	// Speedup is AchievedQPS over the 1-worker leg of the same sweep; only
+	// sweep legs carry it. Under a frozen clock it is exactly 1.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Oversubscribed marks a leg that ran with more workers than cores; its
+	// speedup is recorded but exempt from the -compare-serving gate.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+}
+
+// servingSweep is the workers-1/2/4/8 saturation sweep over one arrival mix.
+type servingSweep struct {
+	ZipfSkew       float64      `json:"zipf_skew"`
+	Legs           []servingLeg `json:"legs"`
+	SpeedupAtMax   float64      `json:"speedup_at_max"`
+	Oversubscribed bool         `json:"oversubscribed,omitempty"`
+}
+
+// servingBundle records the decision table the legs were served from.
+type servingBundle struct {
+	Version   uint64 `json:"version"`
+	Workload  string `json:"workload"`
+	Jobs      int    `json:"jobs"`
+	Entries   int    `json:"entries"`
+	Steered   int    `json:"steered"`
+	Fallbacks int    `json:"fallbacks"`
+	Failed    int    `json:"failed,omitempty"`
+	Checksum  string `json:"checksum"`
+	Sharded   bool   `json:"sharded,omitempty"`
+}
+
+// servingReport is the machine-readable BENCH_serving.json record. Under
+// STEERQ_VCLOCK the report is canonical: the timestamp is the frozen epoch,
+// machine-shape fields (NumCPU, GOMAXPROCS) are omitted, every latency is
+// zero, achieved equals offered, and every speedup is exactly 1 — so CI can
+// diff whole reports byte for byte across runs.
+type servingReport struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	// Virtual marks a frozen-clock run: the timeline was replayed without
+	// pacing sleeps and no wall time was measured.
+	Virtual    bool `json:"virtual,omitempty"`
+	NumCPU     int  `json:"num_cpu,omitempty"`
+	GoMaxProcs int  `json:"gomaxprocs,omitempty"`
+
+	Seed        uint64  `json:"seed"`
+	QPS         float64 `json:"qps"`
+	DurationSec float64 `json:"duration_sec"`
+	ZipfSkew    float64 `json:"zipf_skew"`
+	MissFrac    float64 `json:"miss_frac"`
+
+	Bundle servingBundle  `json:"bundle"`
+	Sweeps []servingSweep `json:"sweeps"`
+	Shapes []servingLeg   `json:"shapes"`
+	HTTP   servingLeg     `json:"http"`
+}
+
+// servingMissFrac is the fraction of load-test traffic drawn from signatures
+// absent from the bundle — the default-decision path every real deployment
+// sees from never-before-grouped jobs.
+const servingMissFrac = 0.1
+
+// servingMissSigs is how many distinct unknown signatures carry that traffic.
+const servingMissSigs = 8
+
+// servingSweepWorkers is the saturation sweep's worker counts; the last
+// entry is what -compare-serving gates on.
+var servingSweepWorkers = []int{1, 2, 4, 8}
+
+// runServing builds a decision-table bundle through the real steering
+// pipeline, loads it into an in-process SDK, and measures the serving path
+// under deterministic open-loop load: worker-scaling saturation sweeps over
+// uniform and Zipf-skewed mixes, paced shape legs (flat, diurnal ramp, flash
+// burst) with coordinated-omission-corrected latencies, and one leg through
+// a live loopback daemon. The report is written as JSON to outPath. quick
+// shrinks the offered load and the bundle's job feed so CI can smoke the
+// whole report cheaply.
+func runServing(scale float64, seed uint64, m int, zipf, qps float64, duration time.Duration, quick bool, outPath string) error {
+	clock := obs.ClockFromEnv()
+	virtual := os.Getenv(obs.VClockEnv) != ""
+	maxJobs := 60
+	if quick {
+		qps /= 4
+		duration /= 2
+		maxJobs = 24
+	}
+	if qps <= 0 || duration <= 0 {
+		return fmt.Errorf("serving: need positive qps (%g) and duration (%v)", qps, duration)
+	}
+
+	// The decision table comes from the real offline build: group a day's
+	// jobs by rule signature and analyze one representative per group, so the
+	// hit/fallback mix in the report reflects what the pipeline actually
+	// decides, not a synthetic split.
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.Candidates = m
+	r := experiments.NewRunner(cfg)
+	const wl = "A"
+	jobs := r.Day(wl, 0)
+	if len(jobs) > maxJobs {
+		jobs = jobs[:maxJobs]
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("serving: workload %s has no jobs at scale %g", wl, scale)
+	}
+	b, brep, err := r.Pipeline(wl).BuildBundle(jobs, 1, clock().Unix())
+	if err != nil {
+		return fmt.Errorf("serving: bundle build: %w", err)
+	}
+
+	reg := obs.NewWithClock(clock)
+	sdk := serve.NewSDK(reg)
+	if err := sdk.Load(b); err != nil {
+		return fmt.Errorf("serving: load bundle: %w", err)
+	}
+
+	sigs := make([]bitvec.Vector, len(b.Entries))
+	for i, e := range b.Entries {
+		sigs[i] = e.Signature
+	}
+	miss := loadgen.MissSignatures(seed, servingMissSigs, sigs)
+	mixFor := func(skew float64) loadgen.Mix {
+		mix := loadgen.Mix{Signatures: sigs, Miss: miss, MissFrac: servingMissFrac}
+		if skew > 0 {
+			mix.Weights = workload.ZipfProbs(len(sigs), skew)
+		}
+		return mix
+	}
+
+	flat := loadgen.Profile{QPS: qps, Duration: duration}
+	runLeg := func(s *loadgen.Schedule, tgt loadgen.Target, name, transport, shape string, skew float64, workers int, paced bool) servingLeg {
+		opts := loadgen.Options{Workers: workers, Paced: paced, Clock: clock, Reg: reg}
+		if virtual {
+			// A frozen clock never advances, so a pacing sleep computed
+			// against it would block for the arrival's full offset in real
+			// time. Virtual runs replay the timeline instantly instead.
+			opts.Sleep = func(time.Duration) {}
+		}
+		res := loadgen.Run(s, tgt, opts)
+		return servingLeg{
+			Name:        name,
+			Transport:   transport,
+			Shape:       shape,
+			ZipfSkew:    skew,
+			Workers:     workers,
+			Paced:       paced,
+			Arrivals:    res.Arrivals,
+			Completed:   res.Completed,
+			Errors:      res.Errors,
+			Hits:        res.Hits,
+			Fallbacks:   res.Fallbacks,
+			Defaults:    res.Defaults,
+			OfferedQPS:  res.OfferedQPS,
+			AchievedQPS: res.AchievedQPS,
+			P50NS:       res.Hist.Quantile(0.50),
+			P95NS:       res.Hist.Quantile(0.95),
+			P99NS:       res.Hist.Quantile(0.99),
+			P999NS:      res.Hist.Quantile(0.999),
+			MeanNS:      res.Hist.MeanNS(),
+			MaxNS:       res.Hist.MaxNS(),
+		}
+	}
+
+	// Saturation sweeps: the same schedule replayed back to back at each
+	// worker count, uniform and Zipf-skewed. Speedup is achieved-QPS relative
+	// to the 1-worker leg. GOMAXPROCS is raised per leg when the machine has
+	// fewer cores, and such legs are marked oversubscribed (real runs only —
+	// a virtual replay measures no wall time, so the flags would be noise).
+	skews := []float64{0}
+	if zipf > 0 {
+		skews = append(skews, zipf)
+	}
+	var sweeps []servingSweep
+	for _, skew := range skews {
+		s, err := loadgen.Build(seed, flat, mixFor(skew))
+		if err != nil {
+			return fmt.Errorf("serving: build schedule: %w", err)
+		}
+		sw := servingSweep{ZipfSkew: skew}
+		prev := runtime.GOMAXPROCS(0)
+		for _, w := range servingSweepWorkers {
+			if !virtual {
+				procs := prev
+				if w > procs {
+					procs = w
+				}
+				runtime.GOMAXPROCS(procs)
+			}
+			leg := runLeg(s, loadgen.SDKTarget{SDK: sdk}, fmt.Sprintf("sweep/zipf%g/w%d", skew, w), "sdk", "flat", skew, w, false)
+			if !virtual {
+				leg.Oversubscribed = w > runtime.NumCPU()
+			}
+			if len(sw.Legs) == 0 {
+				leg.Speedup = 1
+			} else if base := sw.Legs[0].AchievedQPS; base > 0 {
+				leg.Speedup = leg.AchievedQPS / base
+			}
+			if leg.Oversubscribed {
+				sw.Oversubscribed = true
+			}
+			sw.Legs = append(sw.Legs, leg)
+		}
+		runtime.GOMAXPROCS(prev)
+		sw.SpeedupAtMax = sw.Legs[len(sw.Legs)-1].Speedup
+		sweeps = append(sweeps, sw)
+	}
+
+	// Shape legs: paced open-loop replay of the three arrival shapes, so the
+	// percentiles charge queueing delay from each intended arrival instant
+	// (coordinated omission corrected).
+	shapes := []struct {
+		name string
+		p    loadgen.Profile
+	}{
+		{"flat", flat},
+		{"diurnal", loadgen.Profile{QPS: qps, Duration: duration, DiurnalAmp: 0.6}},
+		{"burst", loadgen.Profile{QPS: qps, Duration: duration,
+			Bursts: []loadgen.Burst{{Start: duration / 2, Dur: duration / 4, Factor: 4}}}},
+	}
+	var shapeLegs []servingLeg
+	for _, sh := range shapes {
+		s, err := loadgen.Build(seed, sh.p, mixFor(zipf))
+		if err != nil {
+			return fmt.Errorf("serving: build %s schedule: %w", sh.name, err)
+		}
+		shapeLegs = append(shapeLegs, runLeg(s, loadgen.SDKTarget{SDK: sdk},
+			"shape/"+sh.name, "sdk", sh.name, zipf, 4, true))
+	}
+
+	// HTTP leg: the same flat schedule through a live loopback daemon — the
+	// steer endpoint, JSON decode and all — so the report shows what the
+	// network hop costs relative to the in-process SDK.
+	srv := serve.NewServer(sdk, reg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("serving: start daemon: %w", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if err := serve.WaitReady(base, 5*time.Second); err != nil {
+		return fmt.Errorf("serving: daemon not ready: %w", err)
+	}
+	httpSched, err := loadgen.Build(seed, flat, mixFor(zipf))
+	if err != nil {
+		return fmt.Errorf("serving: build http schedule: %w", err)
+	}
+	httpLeg := runLeg(httpSched, loadgen.HTTPTarget{Base: base}, "http/flat", "http", "flat", zipf, 4, false)
+
+	rep := servingReport{
+		GeneratedUnix: clock().Unix(),
+		Virtual:       virtual,
+		Seed:          seed,
+		QPS:           qps,
+		DurationSec:   duration.Seconds(),
+		ZipfSkew:      zipf,
+		MissFrac:      servingMissFrac,
+		Bundle: servingBundle{
+			Version:   b.Version,
+			Workload:  b.Workload,
+			Jobs:      brep.Jobs,
+			Entries:   len(b.Entries),
+			Steered:   brep.Steered,
+			Fallbacks: brep.Fallbacks + brep.Failed,
+			Failed:    brep.Failed,
+			Checksum:  fmt.Sprintf("%016x", b.Checksum()),
+			Sharded:   sdk.Active().Sharded(),
+		},
+		Sweeps: sweeps,
+		Shapes: shapeLegs,
+		HTTP:   httpLeg,
+	}
+	if !virtual {
+		rep.NumCPU = runtime.NumCPU()
+		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	printServing(&rep, outPath)
+	return nil
+}
+
+// printServing renders the human-readable summary of a serving report.
+func printServing(rep *servingReport, outPath string) {
+	mode := "wall clock"
+	if rep.Virtual {
+		mode = "virtual timeline (frozen clock)"
+	}
+	fmt.Printf("serving: %.0f qps x %.1fs, zipf s=%g, %s\n", rep.QPS, rep.DurationSec, rep.ZipfSkew, mode)
+	fmt.Printf("  bundle v%d: %d jobs -> %d entries (%d steered, %d fallback), checksum %s\n",
+		rep.Bundle.Version, rep.Bundle.Jobs, rep.Bundle.Entries, rep.Bundle.Steered, rep.Bundle.Fallbacks, rep.Bundle.Checksum)
+	for _, sw := range rep.Sweeps {
+		tag := ""
+		if sw.Oversubscribed {
+			tag = "  [oversubscribed]"
+		}
+		fmt.Printf("  sweep zipf=%g (speedup@max %.2fx)%s\n", sw.ZipfSkew, sw.SpeedupAtMax, tag)
+		for _, leg := range sw.Legs {
+			fmt.Printf("    workers=%d: %s\n", leg.Workers, legLine(leg))
+		}
+	}
+	for _, leg := range rep.Shapes {
+		fmt.Printf("  shape %-7s %s\n", leg.Shape+":", legLine(leg))
+	}
+	fmt.Printf("  http w=%d:      %s\n", rep.HTTP.Workers, legLine(rep.HTTP))
+	fmt.Printf("  wrote %s\n", outPath)
+}
+
+// legLine formats one leg's throughput, mix, and percentiles.
+func legLine(leg servingLeg) string {
+	return fmt.Sprintf("%.0f/%.0f qps  mix %d/%d/%d (+%d err)  p50 %s  p99 %s  p999 %s  max %s",
+		leg.AchievedQPS, leg.OfferedQPS, leg.Hits, leg.Fallbacks, leg.Defaults, leg.Errors,
+		time.Duration(leg.P50NS), time.Duration(leg.P99NS), time.Duration(leg.P999NS), time.Duration(leg.MaxNS))
+}
+
+// runCompareServing diffs two BENCH_serving.json reports and fails when the
+// new report's saturation throughput regressed past qpsPct percent at the
+// highest worker count of any sweep both reports share. Latency percentiles
+// print as context but are not gated — loopback latency is too
+// machine-sensitive for a portable threshold. The throughput gate is skipped
+// when either report is virtual (a frozen-clock replay measures no
+// throughput) or either sweep is oversubscribed.
+func runCompareServing(oldPath, newPath string, qpsPct float64) error {
+	oldRep, err := readServingReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readServingReport(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compare-serving: %s (old) vs %s (new); threshold achieved-qps -%.1f%%\n",
+		oldPath, newPath, qpsPct)
+
+	var regressions []string
+	for _, osw := range oldRep.Sweeps {
+		nsw := findSweep(newRep.Sweeps, osw.ZipfSkew)
+		if nsw == nil || len(osw.Legs) == 0 || len(nsw.Legs) == 0 {
+			fmt.Printf("  sweep zipf=%g skipped (missing or empty in new report)\n", osw.ZipfSkew)
+			continue
+		}
+		o, n := osw.Legs[len(osw.Legs)-1], nsw.Legs[len(nsw.Legs)-1]
+		drop := 0.0
+		if o.AchievedQPS > 0 {
+			drop = 100 * (1 - n.AchievedQPS/o.AchievedQPS)
+		}
+		fmt.Printf("  sweep zipf=%g qps@%dw %.0f -> %.0f (%+.1f%%)  speedup %.2fx -> %.2fx\n",
+			osw.ZipfSkew, n.Workers, o.AchievedQPS, n.AchievedQPS, -drop, osw.SpeedupAtMax, nsw.SpeedupAtMax)
+		switch {
+		case oldRep.Virtual || newRep.Virtual:
+			fmt.Printf("  sweep zipf=%g gate skipped (virtual report: no wall time measured)\n", osw.ZipfSkew)
+		case osw.Oversubscribed || nsw.Oversubscribed:
+			fmt.Printf("  sweep zipf=%g gate skipped (oversubscribed sweep: workers exceed cores)\n", osw.ZipfSkew)
+		case o.AchievedQPS > 0 && drop > qpsPct:
+			msg := fmt.Sprintf("sweep zipf=%g achieved qps@%dw -%.1f%% exceeds -%.1f%% (%.0f -> %.0f)",
+				osw.ZipfSkew, n.Workers, drop, qpsPct, o.AchievedQPS, n.AchievedQPS)
+			fmt.Printf("  REGRESSION: %s\n", msg)
+			regressions = append(regressions, msg)
+		}
+	}
+	for _, oleg := range oldRep.Shapes {
+		if nleg := findShape(newRep.Shapes, oleg.Shape); nleg != nil {
+			fmt.Printf("  shape %-7s p99 %s -> %s  p999 %s -> %s\n", oleg.Shape+":",
+				time.Duration(oleg.P99NS), time.Duration(nleg.P99NS),
+				time.Duration(oleg.P999NS), time.Duration(nleg.P999NS))
+		}
+	}
+	fmt.Printf("  http:          p99 %s -> %s  qps %.0f -> %.0f\n",
+		time.Duration(oldRep.HTTP.P99NS), time.Duration(newRep.HTTP.P99NS),
+		oldRep.HTTP.AchievedQPS, newRep.HTTP.AchievedQPS)
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare-serving: %d regression(s) past threshold", len(regressions))
+	}
+	fmt.Println("  ok: no regressions past thresholds")
+	return nil
+}
+
+func findSweep(sweeps []servingSweep, skew float64) *servingSweep {
+	for i := range sweeps {
+		if sweeps[i].ZipfSkew == skew {
+			return &sweeps[i]
+		}
+	}
+	return nil
+}
+
+func findShape(legs []servingLeg, shape string) *servingLeg {
+	for i := range legs {
+		if legs[i].Shape == shape {
+			return &legs[i]
+		}
+	}
+	return nil
+}
+
+func readServingReport(path string) (*servingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("compare-serving: %w", err)
+	}
+	var rep servingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("compare-serving: %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -28,7 +28,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"steerq/internal/abtest"
 	"steerq/internal/bitvec"
@@ -607,7 +606,7 @@ func cmdSteer(args []string) error {
 	if *addr != "" {
 		base := "http://" + *addr
 		if *waitReady > 0 {
-			if err := waitForReady(base, *waitReady); err != nil {
+			if err := serve.WaitReady(base, *waitReady); err != nil {
 				return err
 			}
 		}
@@ -648,26 +647,4 @@ func cmdSteer(args []string) error {
 		return e.finish()
 	}
 	return nil
-}
-
-// waitForReady polls the daemon's readiness probe until it answers 200 or
-// the budget is exhausted. The budget is counted in poll attempts, not wall
-// time, so the client stays deterministic apart from the sleeps themselves.
-func waitForReady(base string, budget time.Duration) error {
-	const pollEvery = 50 * time.Millisecond
-	attempts := int(budget / pollEvery)
-	if attempts < 1 {
-		attempts = 1
-	}
-	for i := 0; i < attempts; i++ {
-		resp, err := http.Get(base + serve.PathReadyz)
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-		}
-		time.Sleep(pollEvery)
-	}
-	return fmt.Errorf("steer: daemon at %s not ready after %v", base, budget)
 }

@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
@@ -76,7 +75,7 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "steerqd: serving on http://%s (state %s)\n", srv.Addr(), srv.State())
 	if *addrFile != "" {
-		if err := writeFileAtomic(*addrFile, []byte(srv.Addr()+"\n")); err != nil {
+		if err := serve.WriteFileAtomic(*addrFile, []byte(srv.Addr()+"\n")); err != nil {
 			_ = srv.Close()
 			return fmt.Errorf("write -addr-file: %w", err)
 		}
@@ -115,24 +114,4 @@ func run(args []string) error {
 		os.Exit(1)
 	}
 	return nil
-}
-
-// writeFileAtomic writes data via a temp file and rename, so a reader polling
-// for the address file never observes a partial write.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".addr-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,18 @@
+// Package loadgen is the deterministic open-loop load generator for the
+// serving path. It drives either the in-process serve.SDK or a live steerqd
+// daemon (via HTTP) with a seeded arrival schedule and reports latency
+// percentiles, achieved-vs-offered QPS and the hit/fallback/default mix.
+//
+// The determinism contract mirrors the rest of the module: the arrival
+// schedule is materialized up front as a pure function of (seed, profile,
+// mix) — target QPS, Zipf-skewed signature popularity, diurnal ramps and
+// flash-crowd bursts sampled by Poisson thinning on a virtual timeline —
+// and per-worker results are exact integers merged in worker order, so the
+// same seed yields a byte-identical report at any worker count under a
+// frozen clock (STEERQ_VCLOCK=1).
+//
+// In paced (real-time) mode latency is measured from each arrival's
+// *intended* instant, not its actual send, so queueing behind a slow
+// predecessor is charged to the percentiles rather than silently omitted —
+// the standard coordinated-omission correction for open-loop harnesses.
+package loadgen

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"testing"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/bundle"
+	"steerq/internal/obs"
+	"steerq/internal/serve"
+	"steerq/internal/workload"
+)
+
+// testBundle builds a bundle with n unique-signature entries: entry i's
+// signature encodes i in its low 16 bits plus a marker bit, so signatures
+// cannot collide at any n < 65536. Every third entry is a fallback pinned to
+// the default; steered configs carry the version in their bits, which is
+// what the torn-decision oracle checks against.
+func testBundle(t *testing.T, version uint64, n int) *bundle.Bundle {
+	t.Helper()
+	if n >= 1<<16 {
+		t.Fatalf("testBundle supports < 65536 entries, got %d", n)
+	}
+	b := &bundle.Bundle{
+		Version:     version,
+		CreatedUnix: 1700000000,
+		Workload:    "W",
+		Default:     bitvec.New(200, 201),
+	}
+	for i := 0; i < n; i++ {
+		sig := bitvec.New(100)
+		for j := 0; j < 16; j++ {
+			if i>>j&1 == 1 {
+				sig.Set(j)
+			}
+		}
+		e := bundle.Entry{Signature: sig}
+		if i%3 == 2 {
+			e.Config, e.Fallback = b.Default, true
+		} else {
+			cfg := bitvec.New(150, 151+i%8)
+			if version%2 == 0 {
+				cfg.Set(160)
+			} else {
+				cfg.Set(161)
+			}
+			e.Config = cfg
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	return b
+}
+
+// testSDK builds an SDK with b loaded, on a frozen clock.
+func testSDK(t *testing.T, b *bundle.Bundle) *serve.SDK {
+	t.Helper()
+	sdk := serve.NewSDK(obs.NewWithClock(obs.FrozenClock()))
+	if err := sdk.Load(b); err != nil {
+		t.Fatal(err)
+	}
+	return sdk
+}
+
+// testMix builds a Zipf-weighted mix over b's entries with missFrac of
+// traffic drawn from nMiss signatures absent from the bundle.
+func testMix(b *bundle.Bundle, skew, missFrac float64, nMiss int) Mix {
+	sigs := make([]bitvec.Vector, len(b.Entries))
+	for i, e := range b.Entries {
+		sigs[i] = e.Signature
+	}
+	m := Mix{Signatures: sigs, MissFrac: missFrac}
+	if skew > 0 {
+		m.Weights = workload.ZipfProbs(len(sigs), skew)
+	}
+	if nMiss > 0 {
+		m.Miss = MissSignatures(99, nMiss, sigs)
+	}
+	return m
+}
+
+// startServer starts a serve.Server over sdk on a loopback listener and
+// returns it with its base URL; closed when the test finishes.
+func startServer(t *testing.T, sdk *serve.SDK, reg *obs.Registry) (*serve.Server, string) {
+	t.Helper()
+	s := serve.NewServer(sdk, reg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, "http://" + s.Addr()
+}

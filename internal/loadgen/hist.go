@@ -1,0 +1,99 @@
+package loadgen
+
+import "math"
+
+// bucketBounds are the latency histogram's inclusive upper bounds in
+// integer nanoseconds: a 1-2-5 series from 1µs to 5s, with one implicit
+// overflow bucket above. Integer bucket counts are what make reports
+// mergeable and byte-identical: addition commutes, and no float
+// accumulation order can leak into the output.
+var bucketBounds = [...]int64{
+	1_000, 2_000, 5_000,
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000,
+	10_000_000, 20_000_000, 50_000_000,
+	100_000_000, 200_000_000, 500_000_000,
+	1_000_000_000, 2_000_000_000, 5_000_000_000,
+}
+
+// Hist is a fixed-bucket integer latency histogram in the obs style: counts
+// only, plus exact integer total and max. Not safe for concurrent use —
+// each worker owns one and the runner merges them in worker order.
+type Hist struct {
+	counts [len(bucketBounds) + 1]int64
+	count  int64
+	sumNS  int64
+	maxNS  int64
+}
+
+// Observe records one latency in nanoseconds (negative clamps to zero).
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for ; i < len(bucketBounds); i++ {
+		if ns <= bucketBounds[i] {
+			break
+		}
+	}
+	h.counts[i]++
+	h.count++
+	h.sumNS += ns
+	if ns > h.maxNS {
+		h.maxNS = ns
+	}
+}
+
+// Merge folds o into h. Pure integer addition: commutative and associative,
+// so any merge order yields the same histogram.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sumNS += o.sumNS
+	if o.maxNS > h.maxNS {
+		h.maxNS = o.maxNS
+	}
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// MaxNS reports the largest observed latency in nanoseconds.
+func (h *Hist) MaxNS() int64 { return h.maxNS }
+
+// MeanNS reports the exact mean latency in nanoseconds (0 when empty).
+func (h *Hist) MeanNS() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sumNS / h.count
+}
+
+// Quantile reports the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket holding that rank — a conservative estimate, resolution-limited by
+// the 1-2-5 series. The overflow bucket reports the observed max. An empty
+// or all-zero histogram reports 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 || h.maxNS == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == len(bucketBounds) {
+				return h.maxNS
+			}
+			return bucketBounds[i]
+		}
+	}
+	return h.maxNS
+}

@@ -1,0 +1,77 @@
+package loadgen
+
+import "testing"
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 100 observations: 1..100 µs. p50 rank 50 → 50µs sits in the (20µs,
+	// 50µs] bucket; p99 rank 99 → (50µs, 100µs]; p100 → same bucket bound.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 50_000 {
+		t.Fatalf("p50 %d", got)
+	}
+	if got := h.Quantile(0.95); got != 100_000 {
+		t.Fatalf("p95 %d", got)
+	}
+	if got := h.Quantile(1); got != 100_000 {
+		t.Fatalf("p100 %d", got)
+	}
+	if h.MaxNS() != 100_000 {
+		t.Fatalf("max %d", h.MaxNS())
+	}
+	if h.MeanNS() != 50_500 {
+		t.Fatalf("mean %d", h.MeanNS())
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.MaxNS() != 0 || h.MeanNS() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+
+	// All-zero latencies (the frozen-clock case) quantile to 0, not to the
+	// first bucket bound.
+	h.Observe(0)
+	h.Observe(-5) // clamps to 0
+	if h.Count() != 2 || h.Quantile(0.99) != 0 {
+		t.Fatalf("zero-latency histogram: count %d p99 %d", h.Count(), h.Quantile(0.99))
+	}
+
+	// An overflow observation reports the exact max at high quantiles.
+	var o Hist
+	o.Observe(7_000_000_000)
+	if got := o.Quantile(0.999); got != 7_000_000_000 {
+		t.Fatalf("overflow quantile %d", got)
+	}
+	if got := o.Quantile(0); got != 7_000_000_000 {
+		t.Fatalf("q=0 clamps to rank 1, got %d", got)
+	}
+}
+
+func TestHistMergeCommutes(t *testing.T) {
+	var all, a, b, ab, ba Hist
+	for i := 0; i < 500; i++ {
+		ns := int64(i*i) * 37
+		all.Observe(ns)
+		if i%2 == 0 {
+			a.Observe(ns)
+		} else {
+			b.Observe(ns)
+		}
+	}
+	ab.Merge(&a)
+	ab.Merge(&b)
+	ba.Merge(&b)
+	ba.Merge(&a)
+	for _, m := range []*Hist{&ab, &ba} {
+		if *m != all {
+			t.Fatal("merged histogram differs from direct observation")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// integralSteps is the fixed midpoint-rule resolution used to normalize a
+// profile's shape. A power of two, fixed forever: the integral is part of
+// the deterministic arrival schedule, so changing the resolution changes
+// every pinned-seed golden.
+const integralSteps = 4096
+
+// Burst is a flash crowd: the offered rate is multiplied by Factor over
+// [Start, Start+Dur). Bursts compose multiplicatively with each other and
+// with the diurnal ramp.
+type Burst struct {
+	Start  time.Duration
+	Dur    time.Duration
+	Factor float64
+}
+
+// Profile describes the open-loop offered load: how many arrivals over how
+// long, shaped how. The shape is normalized so the configured total offered
+// load is QPS·Duration regardless of ramps and bursts — a diurnal profile
+// redistributes arrivals over the run, it does not add any.
+type Profile struct {
+	// QPS is the mean offered arrival rate over the whole run.
+	QPS float64
+	// Duration is the length of the arrival timeline.
+	Duration time.Duration
+	// DiurnalAmp in [0, 1) superimposes a full sine day over the run:
+	// weight 1−amp at the start and end (trough) and 1+amp at mid-run
+	// (peak). Zero means flat.
+	DiurnalAmp float64
+	// Bursts are flash crowds multiplied on top of the base shape.
+	Bursts []Burst
+}
+
+// Validate checks the profile is well-formed.
+func (p Profile) Validate() error {
+	if !(p.QPS > 0) {
+		return fmt.Errorf("loadgen: profile QPS %g, want > 0", p.QPS)
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("loadgen: profile duration %v, want > 0", p.Duration)
+	}
+	if p.DiurnalAmp < 0 || p.DiurnalAmp >= 1 {
+		return fmt.Errorf("loadgen: diurnal amplitude %g outside [0, 1)", p.DiurnalAmp)
+	}
+	for i, b := range p.Bursts {
+		if !(b.Factor > 0) {
+			return fmt.Errorf("loadgen: burst %d factor %g, want > 0", i, b.Factor)
+		}
+		if b.Start < 0 || b.Dur <= 0 || b.Start+b.Dur > p.Duration {
+			return fmt.Errorf("loadgen: burst %d window [%v, %v+%v) outside the run", i, b.Start, b.Start, b.Dur)
+		}
+	}
+	return nil
+}
+
+// weight is the unnormalized shape at t seconds into the run.
+func (p Profile) weight(t float64) float64 {
+	w := 1.0
+	if p.DiurnalAmp != 0 {
+		day := p.Duration.Seconds()
+		w *= 1 + p.DiurnalAmp*math.Sin(2*math.Pi*t/day-math.Pi/2)
+	}
+	for _, b := range p.Bursts {
+		if t >= b.Start.Seconds() && t < b.Start.Seconds()+b.Dur.Seconds() {
+			w *= b.Factor
+		}
+	}
+	return w
+}
+
+// shapeIntegral is ∫ weight dt over the run, by fixed-step midpoint rule —
+// deterministic, and exact enough that the normalized offered total is
+// within a fraction of a percent of QPS·Duration.
+func (p Profile) shapeIntegral() float64 {
+	day := p.Duration.Seconds()
+	dt := day / integralSteps
+	var sum float64
+	for i := 0; i < integralSteps; i++ {
+		sum += p.weight((float64(i) + 0.5) * dt)
+	}
+	return sum * dt
+}
+
+// Rate is the normalized instantaneous offered rate at t seconds into the
+// run: QPS·Duration·weight(t)/∫weight. Integrating Rate over the run gives
+// the configured total offered load for any shape.
+func (p Profile) Rate(t float64) float64 {
+	return p.QPS * p.Duration.Seconds() * p.weight(t) / p.shapeIntegral()
+}
+
+// MaxRate is an upper bound on Rate over the run — the thinning sampler's
+// envelope. weight(t) ≤ (1+amp)·Π max(1, factor) pointwise, so the bound is
+// analytic, not a grid scan that could undershoot between samples.
+func (p Profile) MaxRate() float64 {
+	wmax := 1 + p.DiurnalAmp
+	for _, b := range p.Bursts {
+		if b.Factor > 1 {
+			wmax *= b.Factor
+		}
+	}
+	return p.QPS * p.Duration.Seconds() * wmax / p.shapeIntegral()
+}

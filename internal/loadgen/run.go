@@ -1,0 +1,229 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/obs"
+	"steerq/internal/serve"
+)
+
+// Load-generator metric names. Outcome labels are the decision kinds plus
+// "error" — a closed set.
+const (
+	loadRequestsMetric = "steerq_load_requests_total"
+	loadLatencyMetric  = "steerq_load_latency_seconds"
+)
+
+// loadLatencyBounds bracket the serving path end to end: in-process lookups
+// in the microseconds, loopback HTTP in the hundreds of microseconds.
+var loadLatencyBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// Options configure a load run.
+type Options struct {
+	// Workers is the driving goroutine count (min 1). Arrivals are assigned
+	// by stride (worker w takes arrivals w, w+W, ...), so the assignment is
+	// a pure function of the schedule and W — never of scheduling order.
+	Workers int
+	// Paced replays the schedule in real time: each worker sleeps until an
+	// arrival's intended instant and measures latency *from that instant*,
+	// so queueing delay behind a slow previous request is charged to the
+	// report instead of silently omitted (coordinated omission). Unpaced
+	// runs issue back to back — the saturation mode the scaling sweep uses —
+	// and measure latency from the actual send.
+	Paced bool
+	// Clock times the run (nil = obs.ClockFromEnv). Under a frozen clock
+	// every latency is zero and elapsed time is the schedule's configured
+	// duration, which is what makes pinned-seed reports byte-identical.
+	Clock obs.Clock
+	// Sleep is the pacing primitive (nil = time.Sleep). Tests inject one
+	// that advances a manual clock instead of blocking.
+	Sleep func(time.Duration)
+	// Reg records load metrics (nil = uninstrumented).
+	Reg *obs.Registry
+	// Observe, when non-nil, sees every completion: the arrival index, the
+	// arrival, and the decision or error. Called concurrently from worker
+	// goroutines; the oracle-checking tests are the intended consumer.
+	Observe func(i int, a Arrival, d serve.Decision, err error)
+}
+
+// SigCounts is one signature's decision mix.
+type SigCounts struct {
+	Hits, Fallbacks, Defaults int64
+}
+
+// Result is one load run's outcome. All counts are exact integers merged
+// from per-worker state in worker order; under a frozen clock the whole
+// struct is a pure function of (schedule, workers ⇒ nothing, target
+// behavior), which the worker-count metamorphic test pins down.
+type Result struct {
+	Workers   int
+	Arrivals  int
+	Completed int64
+	Errors    int64
+
+	Hits, Fallbacks, Defaults int64
+
+	// PerSig is the per-signature decision mix over completed requests —
+	// the cross-target equivalence oracle.
+	PerSig map[bitvec.Key]*SigCounts
+
+	Hist *Hist
+
+	// Elapsed is the run's wall duration; under a frozen clock it is the
+	// schedule's configured duration instead, and Virtual is true.
+	Elapsed time.Duration
+	Virtual bool
+
+	OfferedQPS  float64
+	AchievedQPS float64
+}
+
+// workerState is one worker's private tallies, merged after the join.
+type workerState struct {
+	completed, errors         int64
+	hits, fallbacks, defaults int64
+	perSig                    map[bitvec.Key]*SigCounts
+	hist                      Hist
+}
+
+// Run executes the schedule against the target and reports the merged
+// result. It wraps RunCtx with a background context.
+func Run(s *Schedule, tgt Target, opts Options) *Result {
+	return RunCtx(context.Background(), s, tgt, opts)
+}
+
+// RunCtx is Run with cancellation: workers stop picking up arrivals once
+// ctx is done (requests already in flight complete). A canceled run's
+// remaining arrivals count neither as completed nor as errors.
+func RunCtx(ctx context.Context, s *Schedule, tgt Target, opts Options) *Result {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = obs.ClockFromEnv()
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
+	reqHit := opts.Reg.Counter(loadRequestsMetric, "outcome", "hit")
+	reqFallback := opts.Reg.Counter(loadRequestsMetric, "outcome", "fallback")
+	reqDefault := opts.Reg.Counter(loadRequestsMetric, "outcome", "default")
+	reqError := opts.Reg.Counter(loadRequestsMetric, "outcome", "error")
+	latency := opts.Reg.Histogram(loadLatencyMetric, loadLatencyBounds)
+
+	states := make([]*workerState, workers)
+	start := clock()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		st := &workerState{perSig: make(map[bitvec.Key]*SigCounts)}
+		states[w] = st
+		wg.Add(1)
+		go func(w int, st *workerState) {
+			defer wg.Done()
+			for i := w; i < len(s.Arrivals); i += workers {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				a := s.Arrivals[i]
+				intended := start.Add(a.At)
+				if opts.Paced {
+					if wait := intended.Sub(clock()); wait > 0 {
+						sleep(wait)
+					}
+				}
+				sent := clock()
+				d, err := tgt.Steer(a.Sig)
+				done := clock()
+				base := sent
+				if opts.Paced {
+					base = intended
+				}
+				lat := done.Sub(base)
+				if lat < 0 {
+					lat = 0
+				}
+				st.hist.Observe(int64(lat))
+				latency.Observe(lat.Seconds())
+				if opts.Observe != nil {
+					opts.Observe(i, a, d, err)
+				}
+				if err != nil {
+					st.errors++
+					reqError.Inc()
+					continue
+				}
+				st.completed++
+				sc := st.perSig[a.Sig.Key()]
+				if sc == nil {
+					sc = &SigCounts{}
+					st.perSig[a.Sig.Key()] = sc
+				}
+				switch d.Kind {
+				case serve.KindHit:
+					st.hits++
+					sc.Hits++
+					reqHit.Inc()
+				case serve.KindFallback:
+					st.fallbacks++
+					sc.Fallbacks++
+					reqFallback.Inc()
+				case serve.KindDefault:
+					st.defaults++
+					sc.Defaults++
+					reqDefault.Inc()
+				}
+			}
+		}(w, st)
+	}
+	wg.Wait()
+	end := clock()
+
+	// Merge per-worker state serially in worker index order. Every field is
+	// an integer sum (or integer histogram), so the merged result is
+	// independent of how the workers interleaved — and of the worker count
+	// itself, since the union of strides is always the full schedule.
+	res := &Result{
+		Workers:  workers,
+		Arrivals: len(s.Arrivals),
+		PerSig:   make(map[bitvec.Key]*SigCounts),
+		Hist:     &Hist{},
+	}
+	for _, st := range states {
+		res.Completed += st.completed
+		res.Errors += st.errors
+		res.Hits += st.hits
+		res.Fallbacks += st.fallbacks
+		res.Defaults += st.defaults
+		res.Hist.Merge(&st.hist)
+		for k, sc := range st.perSig {
+			dst := res.PerSig[k]
+			if dst == nil {
+				dst = &SigCounts{}
+				res.PerSig[k] = dst
+			}
+			dst.Hits += sc.Hits
+			dst.Fallbacks += sc.Fallbacks
+			dst.Defaults += sc.Defaults
+		}
+	}
+
+	res.Elapsed = end.Sub(start)
+	if res.Elapsed <= 0 {
+		res.Elapsed = s.Profile.Duration
+		res.Virtual = true
+	}
+	res.OfferedQPS = s.OfferedQPS()
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		res.AchievedQPS = float64(res.Completed) / sec
+	}
+	return res
+}

@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/obs"
+	"steerq/internal/serve"
+)
+
+// frozenOpts are the virtual-timeline run options: frozen clock, no pacing.
+func frozenOpts(workers int) Options {
+	return Options{Workers: workers, Clock: obs.FrozenClock()}
+}
+
+// TestRunWorkerCountInvariance is the core metamorphic property: under a
+// frozen clock the merged result is identical at any worker count — counts,
+// per-signature mixes, histogram, QPS, everything except the recorded
+// worker count itself.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	b := testBundle(t, 1, 60)
+	sdk := testSDK(t, b)
+	s, err := Build(11, Profile{QPS: 800, Duration: 2 * time.Second, DiurnalAmp: 0.5}, testMix(b, 1.1, 0.1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := Run(s, SDKTarget{SDK: sdk}, frozenOpts(1))
+	if base.Completed == 0 || base.Completed != int64(base.Arrivals) {
+		t.Fatalf("baseline run: completed %d of %d", base.Completed, base.Arrivals)
+	}
+	if !base.Virtual {
+		t.Fatal("frozen-clock run not flagged virtual")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := Run(s, SDKTarget{SDK: sdk}, frozenOpts(w))
+		if got.Workers != w {
+			t.Fatalf("workers %d recorded as %d", w, got.Workers)
+		}
+		got.Workers = base.Workers
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("result at %d workers differs from 1 worker:\n1: %+v\n%d: %+v", w, base, w, got)
+		}
+	}
+}
+
+// TestRunMixAndQPS checks the aggregate accounting: decisions partition the
+// completions, the per-signature mix sums back to the totals, and in
+// virtual mode achieved equals offered exactly.
+func TestRunMixAndQPS(t *testing.T) {
+	b := testBundle(t, 1, 30)
+	sdk := testSDK(t, b)
+	s, err := Build(5, flatProfile(1000, time.Second), testMix(b, 1.2, 0.2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewWithClock(obs.FrozenClock())
+	opts := frozenOpts(4)
+	opts.Reg = reg
+	res := Run(s, SDKTarget{SDK: sdk}, opts)
+
+	if res.Errors != 0 {
+		t.Fatalf("errors %d", res.Errors)
+	}
+	if res.Hits+res.Fallbacks+res.Defaults != res.Completed {
+		t.Fatalf("mix %d+%d+%d != completed %d", res.Hits, res.Fallbacks, res.Defaults, res.Completed)
+	}
+	if res.Hits == 0 || res.Fallbacks == 0 || res.Defaults == 0 {
+		t.Fatalf("degenerate mix: %d/%d/%d", res.Hits, res.Fallbacks, res.Defaults)
+	}
+	var h, f, d int64
+	for _, sc := range res.PerSig {
+		h += sc.Hits
+		f += sc.Fallbacks
+		d += sc.Defaults
+	}
+	if h != res.Hits || f != res.Fallbacks || d != res.Defaults {
+		t.Fatalf("per-sig sums %d/%d/%d != totals %d/%d/%d", h, f, d, res.Hits, res.Fallbacks, res.Defaults)
+	}
+	if res.Elapsed != s.Profile.Duration {
+		t.Fatalf("virtual elapsed %v, want %v", res.Elapsed, s.Profile.Duration)
+	}
+	if res.AchievedQPS != res.OfferedQPS {
+		t.Fatalf("virtual achieved %.3f != offered %.3f", res.AchievedQPS, res.OfferedQPS)
+	}
+	if got := reg.Counter(loadRequestsMetric, "outcome", "hit").Value(); got != uint64(res.Hits) {
+		t.Fatalf("hit counter %d, want %d", got, res.Hits)
+	}
+}
+
+// slowTarget answers after advancing a manual clock by svc — a server with a
+// fixed 50ms service time, simulated.
+type slowTarget struct {
+	mc  *obs.ManualClock
+	svc time.Duration
+}
+
+func (s slowTarget) Steer(bitvec.Vector) (serve.Decision, error) {
+	s.mc.Advance(s.svc)
+	return serve.Decision{Version: 1, Kind: serve.KindHit}, nil
+}
+
+// TestCoordinatedOmission replays a schedule whose arrivals outpace a slow
+// server, paced on a manual clock. With latency measured from the intended
+// arrival, queueing delay accumulates into the histogram; measured from the
+// send instant it would sit flat at the service time — the classic
+// coordinated-omission understatement. The exact expected values come from
+// replaying the single-server queue model on the schedule.
+func TestCoordinatedOmission(t *testing.T) {
+	b := testBundle(t, 1, 4)
+	s, err := Build(2, flatProfile(100, time.Second), testMix(b, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const svc = 50 * time.Millisecond
+
+	// Paced, one worker: the run must charge each request its queueing
+	// delay. Replay the model: the clock only moves via pacing sleeps and
+	// the 50ms service times.
+	mc := obs.NewManualClock()
+	opts := Options{
+		Workers: 1,
+		Paced:   true,
+		Clock:   mc.Now,
+		Sleep:   mc.Advance,
+	}
+	res := Run(s, slowTarget{mc: mc, svc: svc}, opts)
+
+	var wantHist Hist
+	now := time.Duration(0)
+	var wantElapsed time.Duration
+	for _, a := range s.Arrivals {
+		if a.At > now {
+			now = a.At
+		}
+		now += svc
+		wantHist.Observe(int64(now - a.At))
+		wantElapsed = now
+	}
+	if res.Hist.MaxNS() != wantHist.MaxNS() || res.Hist.MeanNS() != wantHist.MeanNS() {
+		t.Fatalf("paced histogram max/mean %d/%d, want %d/%d",
+			res.Hist.MaxNS(), res.Hist.MeanNS(), wantHist.MaxNS(), wantHist.MeanNS())
+	}
+	if *res.Hist != wantHist {
+		t.Fatal("paced histogram differs from queue-model replay")
+	}
+	if res.Elapsed != wantElapsed {
+		t.Fatalf("elapsed %v, want %v", res.Elapsed, wantElapsed)
+	}
+	if res.Hist.MaxNS() <= int64(svc) {
+		t.Fatal("pacing did not surface queueing delay")
+	}
+
+	// Unpaced, same slow server: every latency is exactly the service time.
+	// The gap between the two runs is precisely what coordinated-omission
+	// accounting exists to report.
+	mc2 := obs.NewManualClock()
+	res2 := Run(s, slowTarget{mc: mc2, svc: svc}, Options{Workers: 1, Clock: mc2.Now})
+	if res2.Hist.MaxNS() != int64(svc) || res2.Hist.MeanNS() != int64(svc) {
+		t.Fatalf("unpaced max/mean %d/%d, want %d", res2.Hist.MaxNS(), res2.Hist.MeanNS(), int64(svc))
+	}
+}
+
+// TestRunErrorTarget counts a target that always fails as errors, not
+// completions, and zero achieved QPS.
+func TestRunErrorTarget(t *testing.T) {
+	b := testBundle(t, 1, 5)
+	s, err := Build(3, flatProfile(200, time.Second), testMix(b, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targetFunc(func(bitvec.Vector) (serve.Decision, error) {
+		return serve.Decision{}, errors.New("down")
+	})
+	res := Run(s, tgt, frozenOpts(2))
+	if res.Completed != 0 || res.Errors != int64(res.Arrivals) {
+		t.Fatalf("completed %d errors %d of %d", res.Completed, res.Errors, res.Arrivals)
+	}
+	if res.AchievedQPS != 0 || len(res.PerSig) != 0 {
+		t.Fatalf("error run achieved %.1f qps, %d per-sig entries", res.AchievedQPS, len(res.PerSig))
+	}
+}
+
+// targetFunc adapts a function to the Target interface.
+type targetFunc func(sig bitvec.Vector) (serve.Decision, error)
+
+func (f targetFunc) Steer(sig bitvec.Vector) (serve.Decision, error) { return f(sig) }
+
+// TestRunCtxCancel: a canceled context stops workers before they pick up
+// arrivals; nothing is counted.
+func TestRunCtxCancel(t *testing.T) {
+	b := testBundle(t, 1, 5)
+	sdk := testSDK(t, b)
+	s, err := Build(3, flatProfile(100, time.Second), testMix(b, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunCtx(ctx, s, SDKTarget{SDK: sdk}, frozenOpts(3))
+	if res.Completed != 0 || res.Errors != 0 {
+		t.Fatalf("canceled run completed %d, errors %d", res.Completed, res.Errors)
+	}
+}
+
+// TestObserveSeesEveryArrival: the observe hook fires once per arrival with
+// its schedule index.
+func TestObserveSeesEveryArrival(t *testing.T) {
+	b := testBundle(t, 1, 8)
+	sdk := testSDK(t, b)
+	s, err := Build(4, flatProfile(300, time.Second), testMix(b, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []int
+	opts := frozenOpts(4)
+	opts.Observe = func(i int, a Arrival, d serve.Decision, err error) {
+		if err != nil || d.Version != 1 {
+			t.Errorf("arrival %d: decision %+v err %v", i, d, err)
+		}
+		mu.Lock()
+		seen = append(seen, i)
+		mu.Unlock()
+	}
+	res := Run(s, SDKTarget{SDK: sdk}, opts)
+	sort.Ints(seen)
+	if len(seen) != res.Arrivals {
+		t.Fatalf("observed %d of %d arrivals", len(seen), res.Arrivals)
+	}
+	for i, v := range seen {
+		if i != v {
+			t.Fatalf("observe indices not a permutation of the schedule: %d at %d", v, i)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/xrand"
+)
+
+// Mix describes what the arrivals ask for: the known signature population
+// with its popularity weights, plus a block of miss signatures absent from
+// the serving table that a MissFrac slice of the traffic draws uniformly.
+type Mix struct {
+	// Signatures is the known population (typically the bundle's entries).
+	Signatures []bitvec.Vector
+	// Weights are the popularity weights, parallel to Signatures. They need
+	// not sum to one; Build normalizes. Nil means uniform.
+	Weights []float64
+	// Miss are signatures guaranteed absent from the table (see
+	// MissSignatures); MissFrac of the arrivals draw from them uniformly.
+	Miss     []bitvec.Vector
+	MissFrac float64
+}
+
+// Validate checks the mix is well-formed.
+func (m Mix) Validate() error {
+	if len(m.Signatures) == 0 {
+		return fmt.Errorf("loadgen: mix has no signatures")
+	}
+	if m.Weights != nil && len(m.Weights) != len(m.Signatures) {
+		return fmt.Errorf("loadgen: %d weights for %d signatures", len(m.Weights), len(m.Signatures))
+	}
+	var sum float64
+	for i, w := range m.Weights {
+		if w < 0 {
+			return fmt.Errorf("loadgen: negative weight %g at %d", w, i)
+		}
+		sum += w
+	}
+	if m.Weights != nil && !(sum > 0) {
+		return fmt.Errorf("loadgen: weights sum to %g, want > 0", sum)
+	}
+	if m.MissFrac < 0 || m.MissFrac > 1 {
+		return fmt.Errorf("loadgen: miss fraction %g outside [0, 1]", m.MissFrac)
+	}
+	if m.MissFrac > 0 && len(m.Miss) == 0 {
+		return fmt.Errorf("loadgen: miss fraction %g with no miss signatures", m.MissFrac)
+	}
+	return nil
+}
+
+// Arrival is one intended request: its offset from the start of the run and
+// the signature it asks for. The offset is the *intended* arrival instant —
+// the latency accounting baseline under pacing, which is what keeps the
+// report honest about coordinated omission.
+type Arrival struct {
+	At  time.Duration
+	Sig bitvec.Vector
+}
+
+// Schedule is a fully materialized arrival timeline. It is built once,
+// before any worker starts, purely from (seed, profile, mix) — which is the
+// whole determinism argument: the schedule cannot depend on worker count,
+// pacing, or the clock, because those haven't entered the picture yet.
+type Schedule struct {
+	Arrivals []Arrival
+	Profile  Profile
+}
+
+// Build materializes the arrival schedule for a seeded non-homogeneous
+// Poisson process shaped by p, with signatures drawn from mix. The process
+// is sampled by thinning: candidate arrivals come from a homogeneous
+// process at the profile's analytic max rate, and each is accepted with
+// probability rate(t)/maxRate. Same seed, same inputs — same schedule,
+// byte for byte.
+func Build(seed uint64, p Profile, mix Mix) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Cumulative popularity, normalized, for binary-search draws.
+	cum := make([]float64, len(mix.Signatures))
+	var sum float64
+	for i := range mix.Signatures {
+		w := 1.0
+		if mix.Weights != nil {
+			w = mix.Weights[i]
+		}
+		sum += w
+		cum[i] = sum
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+
+	day := p.Duration.Seconds()
+	norm := p.QPS * day / p.shapeIntegral()
+	wmax := 1 + p.DiurnalAmp
+	for _, b := range p.Bursts {
+		if b.Factor > 1 {
+			wmax *= b.Factor
+		}
+	}
+	rmax := norm * wmax
+
+	arr := xrand.New(seed).Derive("loadgen", "arrivals")
+	sigs := xrand.New(seed).Derive("loadgen", "sigs")
+	s := &Schedule{Profile: p}
+	for t := arr.Exp(rmax); t < day; t += arr.Exp(rmax) {
+		if !arr.Bool(norm * p.weight(t) / rmax) {
+			continue
+		}
+		var sig bitvec.Vector
+		if mix.MissFrac > 0 && sigs.Bool(mix.MissFrac) {
+			sig = mix.Miss[sigs.Intn(len(mix.Miss))]
+		} else {
+			u := sigs.Float64()
+			sig = mix.Signatures[sort.SearchFloat64s(cum, u)]
+		}
+		s.Arrivals = append(s.Arrivals, Arrival{At: time.Duration(t * float64(time.Second)), Sig: sig})
+	}
+	return s, nil
+}
+
+// OfferedQPS is the schedule's realized offered rate: arrivals over the
+// configured duration.
+func (s *Schedule) OfferedQPS() float64 {
+	return float64(len(s.Arrivals)) / s.Profile.Duration.Seconds()
+}
+
+// MissSignatures derives n signatures guaranteed absent from known, by
+// seeded rejection sampling. Deterministic for a given (seed, n, known).
+func MissSignatures(seed uint64, n int, known []bitvec.Vector) []bitvec.Vector {
+	taken := make(map[bitvec.Key]bool, len(known))
+	for _, v := range known {
+		taken[v.Key()] = true
+	}
+	r := xrand.New(seed).Derive("loadgen", "miss")
+	out := make([]bitvec.Vector, 0, n)
+	for len(out) < n {
+		var v bitvec.Vector
+		for j := 0; j < 8; j++ {
+			v.Set(r.Intn(bitvec.Width))
+		}
+		if taken[v.Key()] {
+			continue
+		}
+		taken[v.Key()] = true
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"steerq/internal/bitvec"
+)
+
+func flatProfile(qps float64, d time.Duration) Profile {
+	return Profile{QPS: qps, Duration: d}
+}
+
+// TestBuildSameSeedSameSchedule is the schedule half of the metamorphic
+// battery: the arrival timeline is a pure function of (seed, profile, mix).
+func TestBuildSameSeedSameSchedule(t *testing.T) {
+	b := testBundle(t, 1, 40)
+	mix := testMix(b, 1.1, 0.1, 8)
+	p := Profile{QPS: 400, Duration: 5 * time.Second, DiurnalAmp: 0.5,
+		Bursts: []Burst{{Start: time.Second, Dur: time.Second, Factor: 3}}}
+
+	s1, err := Build(42, p, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(42, p, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(s1.Arrivals) == 0 {
+		t.Fatal("empty schedule")
+	}
+	s3, err := Build(43, p, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1.Arrivals, s3.Arrivals) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(s1.Arrivals); i++ {
+		if s1.Arrivals[i].At < s1.Arrivals[i-1].At {
+			t.Fatal("arrival times not monotone")
+		}
+	}
+}
+
+// TestProfileRateIntegrates checks the normalization promise: whatever the
+// shape, the instantaneous rate integrates to QPS·Duration.
+func TestProfileRateIntegrates(t *testing.T) {
+	profiles := map[string]Profile{
+		"flat":    flatProfile(500, 10*time.Second),
+		"diurnal": {QPS: 500, Duration: 10 * time.Second, DiurnalAmp: 0.8},
+		"burst": {QPS: 500, Duration: 10 * time.Second,
+			Bursts: []Burst{{Start: 2 * time.Second, Dur: time.Second, Factor: 5}}},
+		"composed": {QPS: 500, Duration: 10 * time.Second, DiurnalAmp: 0.4,
+			Bursts: []Burst{
+				{Start: time.Second, Dur: time.Second, Factor: 4},
+				{Start: 6 * time.Second, Dur: 2 * time.Second, Factor: 0.25},
+			}},
+	}
+	for name, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		const steps = 5_000
+		day := p.Duration.Seconds()
+		dt := day / steps
+		var got, maxRate float64
+		for i := 0; i < steps; i++ {
+			r := p.Rate((float64(i) + 0.5) * dt)
+			got += r * dt
+			if r > maxRate {
+				maxRate = r
+			}
+		}
+		want := p.QPS * day
+		if rel := math.Abs(got-want) / want; rel > 0.005 {
+			t.Fatalf("%s: ∫rate = %.1f, want %.1f (rel err %.4f)", name, got, want, rel)
+		}
+		if bound := p.MaxRate(); maxRate > bound*(1+1e-9) {
+			t.Fatalf("%s: observed rate %.1f exceeds analytic bound %.1f", name, maxRate, bound)
+		}
+	}
+}
+
+// TestScheduleOfferedLoad checks the sampled totals: each shape's arrival
+// count lands near QPS·Duration, and a burst window really is denser.
+func TestScheduleOfferedLoad(t *testing.T) {
+	b := testBundle(t, 1, 20)
+	mix := testMix(b, 0, 0, 0)
+	const qps, daySec = 400.0, 10.0
+	day := 10 * time.Second
+	burst := Burst{Start: 4 * time.Second, Dur: time.Second, Factor: 6}
+
+	for name, p := range map[string]Profile{
+		"flat":    flatProfile(qps, day),
+		"diurnal": {QPS: qps, Duration: day, DiurnalAmp: 0.7},
+		"burst":   {QPS: qps, Duration: day, Bursts: []Burst{burst}},
+	} {
+		s, err := Build(7, p, mix)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := qps * daySec
+		got := float64(len(s.Arrivals))
+		// Poisson sd is √4000 ≈ 63; 10% ≈ 6σ.
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("%s: %d arrivals, want ≈ %.0f", name, len(s.Arrivals), want)
+		}
+		if q := s.OfferedQPS(); math.Abs(q-got/daySec) > 1e-9 {
+			t.Fatalf("%s: OfferedQPS %.3f, want %.3f", name, q, got/daySec)
+		}
+	}
+
+	s, err := Build(7, Profile{QPS: qps, Duration: day, Bursts: []Burst{burst}}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inWindow := func(lo, hi time.Duration) int {
+		n := 0
+		for _, a := range s.Arrivals {
+			if a.At >= lo && a.At < hi {
+				n++
+			}
+		}
+		return n
+	}
+	dense := inWindow(burst.Start, burst.Start+burst.Dur)
+	quiet := inWindow(8*time.Second, 9*time.Second)
+	if dense < 3*quiet {
+		t.Fatalf("burst window not denser: %d in burst vs %d in quiet second", dense, quiet)
+	}
+}
+
+// TestScheduleZipfSkew checks popularity skew flows through to the drawn
+// signatures: the rank-1 signature dominates under a skewed mix and does not
+// under a uniform one.
+func TestScheduleZipfSkew(t *testing.T) {
+	b := testBundle(t, 1, 50)
+	p := flatProfile(2000, 5*time.Second)
+
+	counts := func(mix Mix) map[bitvec.Key]int {
+		t.Helper()
+		s, err := Build(3, p, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := make(map[bitvec.Key]int)
+		for _, a := range s.Arrivals {
+			c[a.Sig.Key()]++
+		}
+		return c
+	}
+
+	zipf := counts(testMix(b, 1.5, 0, 0))
+	uniform := counts(testMix(b, 0, 0, 0))
+
+	rank1 := b.Entries[0].Signature.Key()
+	rankLast := b.Entries[len(b.Entries)-1].Signature.Key()
+	if zipf[rank1] < 5*zipf[rankLast] {
+		t.Fatalf("zipf mix not skewed: rank1 %d, rankLast %d", zipf[rank1], zipf[rankLast])
+	}
+	if uniform[rank1] > 3*uniform[rankLast] {
+		t.Fatalf("uniform mix skewed: rank1 %d, rankLast %d", uniform[rank1], uniform[rankLast])
+	}
+}
+
+// TestMissSignatures pins the miss generator: deterministic, disjoint from
+// the known set, and mutually distinct.
+func TestMissSignatures(t *testing.T) {
+	b := testBundle(t, 1, 30)
+	known := make([]bitvec.Vector, len(b.Entries))
+	for i, e := range b.Entries {
+		known[i] = e.Signature
+	}
+	m1 := MissSignatures(5, 12, known)
+	m2 := MissSignatures(5, 12, known)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("miss signatures not deterministic")
+	}
+	if len(m1) != 12 {
+		t.Fatalf("got %d miss signatures, want 12", len(m1))
+	}
+	taken := make(map[bitvec.Key]bool)
+	for _, v := range known {
+		taken[v.Key()] = true
+	}
+	for i, v := range m1 {
+		if taken[v.Key()] {
+			t.Fatalf("miss signature %d collides", i)
+		}
+		taken[v.Key()] = true
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	day := 10 * time.Second
+	bad := []Profile{
+		{QPS: 0, Duration: day},
+		{QPS: -5, Duration: day},
+		{QPS: 100, Duration: 0},
+		{QPS: 100, Duration: day, DiurnalAmp: 1},
+		{QPS: 100, Duration: day, DiurnalAmp: -0.1},
+		{QPS: 100, Duration: day, Bursts: []Burst{{Start: 0, Dur: time.Second, Factor: 0}}},
+		{QPS: 100, Duration: day, Bursts: []Burst{{Start: 9 * time.Second, Dur: 2 * time.Second, Factor: 2}}},
+		{QPS: 100, Duration: day, Bursts: []Burst{{Start: -time.Second, Dur: 2 * time.Second, Factor: 2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("profile %d validated", i)
+		}
+		if _, err := Build(1, p, testMix(testBundle(t, 1, 3), 0, 0, 0)); err == nil {
+			t.Fatalf("Build accepted bad profile %d", i)
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	sig := []bitvec.Vector{bitvec.New(1)}
+	bad := []Mix{
+		{},
+		{Signatures: sig, Weights: []float64{1, 2}},
+		{Signatures: sig, Weights: []float64{-1}},
+		{Signatures: sig, Weights: []float64{0}},
+		{Signatures: sig, MissFrac: -0.1},
+		{Signatures: sig, MissFrac: 1.1},
+		{Signatures: sig, MissFrac: 0.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("mix %d validated", i)
+		}
+		if _, err := Build(1, flatProfile(10, time.Second), m); err == nil {
+			t.Fatalf("Build accepted bad mix %d", i)
+		}
+	}
+	good := Mix{Signatures: sig, Weights: []float64{2}, MissFrac: 0.2, Miss: []bitvec.Vector{bitvec.New(2)}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/serve"
+)
+
+// Target is what the load generator drives: one steering decision per
+// request. Implementations must be safe for concurrent use — workers call
+// Steer in parallel.
+type Target interface {
+	Steer(sig bitvec.Vector) (serve.Decision, error)
+}
+
+// StatusError is a non-200 answer from an HTTP target — the server spoke,
+// it just refused. Distinct from transport errors (connection refused,
+// reset), which surface as the underlying error type; the mid-drain battery
+// relies on telling the two apart.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("loadgen: target returned %d: %s", e.Code, e.Msg)
+}
+
+// SDKTarget drives the in-process serving surface.
+type SDKTarget struct {
+	SDK *serve.SDK
+}
+
+// Steer resolves sig against the SDK's active table.
+func (t SDKTarget) Steer(sig bitvec.Vector) (serve.Decision, error) {
+	d, ok := t.SDK.Lookup(sig)
+	if !ok {
+		return serve.Decision{}, &StatusError{Code: http.StatusServiceUnavailable, Msg: "no bundle loaded"}
+	}
+	return d, nil
+}
+
+// HTTPTarget drives a live daemon over its steer endpoint.
+type HTTPTarget struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:7311".
+	Base string
+	// Client is the HTTP client to use (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// Steer queries GET /v1/steer and decodes the answer back into the same
+// Decision an SDK lookup yields, so both targets are interchangeable to the
+// runner and directly comparable in equivalence tests.
+func (t HTTPTarget) Steer(sig bitvec.Vector) (serve.Decision, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(t.Base + serve.PathSteer + "?sig=" + sig.Hex())
+	if err != nil {
+		return serve.Decision{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return serve.Decision{}, &StatusError{Code: resp.StatusCode, Msg: er.Error}
+	}
+	var sr serve.SteerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return serve.Decision{}, fmt.Errorf("loadgen: decode steer response: %w", err)
+	}
+	kind, ok := serve.ParseKind(sr.Kind)
+	if !ok {
+		return serve.Decision{}, fmt.Errorf("loadgen: unknown decision kind %q", sr.Kind)
+	}
+	cfg, err := bitvec.ParseHex(sr.Config)
+	if err != nil {
+		return serve.Decision{}, fmt.Errorf("loadgen: bad config in steer response: %w", err)
+	}
+	return serve.Decision{Config: cfg, Version: sr.Version, Kind: kind}, nil
+}

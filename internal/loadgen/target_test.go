@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"steerq/internal/bitvec"
+	"steerq/internal/obs"
+	"steerq/internal/serve"
+)
+
+// TestSDKHTTPLoadEquivalence is the cross-target oracle: the same pinned
+// schedule driven at the in-process SDK and at a live daemon over HTTP must
+// produce the identical per-signature decision mix — the serving tiers are
+// two transports over one table, and the load harness can prove it.
+func TestSDKHTTPLoadEquivalence(t *testing.T) {
+	b := testBundle(t, 3, 40)
+	sdkA := testSDK(t, b)
+	sdkB := testSDK(t, b)
+	_, base := startServer(t, sdkB, obs.NewWithClock(obs.FrozenClock()))
+	if err := serve.WaitReady(base, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Build(21, Profile{QPS: 600, Duration: time.Second, DiurnalAmp: 0.3}, testMix(b, 1.1, 0.15, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resSDK := Run(s, SDKTarget{SDK: sdkA}, frozenOpts(2))
+	resHTTP := Run(s, HTTPTarget{Base: base}, frozenOpts(2))
+
+	if resSDK.Errors != 0 || resHTTP.Errors != 0 {
+		t.Fatalf("errors: sdk %d http %d", resSDK.Errors, resHTTP.Errors)
+	}
+	if resSDK.Hits != resHTTP.Hits || resSDK.Fallbacks != resHTTP.Fallbacks || resSDK.Defaults != resHTTP.Defaults {
+		t.Fatalf("mix mismatch: sdk %d/%d/%d http %d/%d/%d",
+			resSDK.Hits, resSDK.Fallbacks, resSDK.Defaults,
+			resHTTP.Hits, resHTTP.Fallbacks, resHTTP.Defaults)
+	}
+	if !reflect.DeepEqual(resSDK.PerSig, resHTTP.PerSig) {
+		t.Fatal("per-signature decision mixes differ between SDK and HTTP")
+	}
+}
+
+// TestHTTPTargetDecodes checks HTTPTarget reconstructs the exact Decision an
+// SDK lookup yields, entry by entry, including the default-config miss.
+func TestHTTPTargetDecodes(t *testing.T) {
+	b := testBundle(t, 2, 9)
+	sdk := testSDK(t, b)
+	_, base := startServer(t, sdk, obs.NewWithClock(obs.FrozenClock()))
+	tgt := HTTPTarget{Base: base}
+
+	for i, e := range b.Entries {
+		want, ok := sdk.Lookup(e.Signature)
+		if !ok {
+			t.Fatal("sdk lookup failed")
+		}
+		got, err := tgt.Steer(e.Signature)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if got.Version != want.Version || got.Kind != want.Kind || !got.Config.Equal(want.Config) {
+			t.Fatalf("entry %d: http %+v, sdk %+v", i, got, want)
+		}
+	}
+	miss := MissSignatures(1, 1, nil)[0]
+	got, err := tgt.Steer(miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != serve.KindDefault || !got.Config.Equal(b.Default) {
+		t.Fatalf("miss decision %+v", got)
+	}
+}
+
+// TestTargetErrors pins the error taxonomy: an unloaded SDK and an unloaded
+// daemon both surface 503 StatusErrors; malformed server answers surface
+// decode errors, not bogus decisions.
+func TestTargetErrors(t *testing.T) {
+	empty := serve.NewSDK(obs.NewWithClock(obs.FrozenClock()))
+	if _, err := (SDKTarget{SDK: empty}).Steer(bitvec.New(1)); !isStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("unloaded SDK error %v", err)
+	}
+
+	_, base := startServer(t, empty, obs.NewWithClock(obs.FrozenClock()))
+	if _, err := (HTTPTarget{Base: base}).Steer(bitvec.New(1)); !isStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("unloaded daemon error %v", err)
+	}
+
+	for name, body := range map[string]string{
+		"bad json":   `{"version":`,
+		"bad kind":   `{"version":1,"kind":"sideways","config":"00"}`,
+		"bad config": `{"version":1,"kind":"hit","config":"zz"}`,
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Write([]byte(body))
+		}))
+		_, err := HTTPTarget{Base: srv.URL}.Steer(bitvec.New(1))
+		srv.Close()
+		if err == nil {
+			t.Fatalf("%s: decoded a decision from garbage", name)
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			t.Fatalf("%s: garbage misreported as status error %v", name, err)
+		}
+	}
+
+	if msg := (&StatusError{Code: 503, Msg: "draining"}).Error(); msg == "" {
+		t.Fatal("empty StatusError message")
+	}
+}
+
+func isStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
+// TestLoadMidDrain drives load into a draining daemon. The contract under
+// test: once the drain begins, a request either completes with a decision
+// that is internally consistent against the bundle oracle (it got in before
+// the listener closed) or fails outright — connection refused or a 503 —
+// and a torn or fabricated decision never appears. After the drain, every
+// request is refused.
+func TestLoadMidDrain(t *testing.T) {
+	b := testBundle(t, 1, 24)
+	sdk := testSDK(t, b)
+	srv, base := startServer(t, sdk, obs.NewWithClock(obs.FrozenClock()))
+
+	// Oracle: signature -> (kind, config hex) from the bundle itself.
+	type want struct {
+		kind serve.Kind
+		cfg  string
+	}
+	oracle := make(map[bitvec.Key]want)
+	for _, e := range b.Entries {
+		k := serve.KindHit
+		if e.Fallback {
+			k = serve.KindFallback
+		}
+		oracle[e.Signature.Key()] = want{kind: k, cfg: e.Config.Hex()}
+	}
+
+	s, err := Build(31, flatProfile(2000, time.Second), testMix(b, 1.0, 0.1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var drainOnce sync.Once
+	var completions int64
+	var mu sync.Mutex
+	opts := Options{
+		Workers: 4,
+		Observe: func(i int, a Arrival, d serve.Decision, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				// Refusals are legal mid-drain; torn successes are not.
+				// Transport errors and StatusErrors both land here.
+				return
+			}
+			if d.Version != 1 {
+				t.Errorf("arrival %d: version %d", i, d.Version)
+				return
+			}
+			if w, ok := oracle[a.Sig.Key()]; ok {
+				if d.Kind != w.kind || d.Config.Hex() != w.cfg {
+					t.Errorf("arrival %d: torn decision %+v, want kind %v cfg %s", i, d, w.kind, w.cfg)
+				}
+			} else if d.Kind != serve.KindDefault || d.Config.Hex() != b.Default.Hex() {
+				t.Errorf("arrival %d: miss resolved to %+v", i, d)
+			}
+			completions++
+			if completions == 50 {
+				drainOnce.Do(func() { go srv.BeginDrain() })
+			}
+		},
+	}
+	res := Run(s, HTTPTarget{Base: base}, opts)
+	if res.Completed < 50 {
+		t.Fatalf("only %d completions before drain", res.Completed)
+	}
+
+	// Drained: the listener is gone; one more request must fail, and with a
+	// transport error — the daemon is not answering at all.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (HTTPTarget{Base: base}).Steer(b.Entries[0].Signature); err == nil {
+		t.Fatal("steer succeeded after drain completed")
+	} else if isStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("post-drain request answered with a status, want refused transport: %v", err)
+	}
+}

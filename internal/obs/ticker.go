@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Ticker is the injectable periodic-tick seam, the cadence counterpart of
+// Clock: components that poll (the serve bundle watcher) take a TickerFunc
+// instead of calling time.NewTicker, so tests drive every poll explicitly
+// and stay deterministic under STEERQ_VCLOCK instead of racing a real
+// 5ms ticker.
+type Ticker interface {
+	// C delivers the ticks.
+	C() <-chan time.Time
+	// Stop releases the ticker's resources. After Stop no more ticks are
+	// delivered; C is not closed (matching time.Ticker).
+	Stop()
+}
+
+// TickerFunc builds a Ticker for a poll interval — the seam components
+// store. NewWallTicker is the production implementation.
+type TickerFunc func(interval time.Duration) Ticker
+
+// wallTicker adapts time.Ticker to the Ticker interface.
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }
+
+// NewWallTicker ticks on the real clock every interval. This is the module's
+// one approved raw ticker seam, exactly like WallClock is for clock reads:
+// every polling component threads a TickerFunc obtained here or injected by
+// a test, and detcheck enforces that discipline.
+func NewWallTicker(interval time.Duration) Ticker {
+	// steerq:allow-wallclock — the approved cadence seam itself.
+	return wallTicker{t: time.NewTicker(interval)}
+}
+
+// ManualTicker is a test-driven Ticker: each Tick call delivers exactly one
+// tick and returns once the polling loop has received it, so a test knows
+// the poll has *started*; a second Tick additionally proves the previous
+// poll *finished* (the loop is back at its receive). Safe for concurrent
+// use.
+type ManualTicker struct {
+	ch       chan time.Time
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewManualTicker returns a manual ticker with an unbuffered channel.
+func NewManualTicker() *ManualTicker {
+	return &ManualTicker{ch: make(chan time.Time), done: make(chan struct{})}
+}
+
+// C delivers the ticks sent by Tick.
+func (m *ManualTicker) C() <-chan time.Time { return m.ch }
+
+// Tick delivers one tick, blocking until the consumer receives it. A tick
+// racing the ticker's Stop is dropped rather than deadlocking, so a test's
+// final Tick is safe against a loop that already exited.
+func (m *ManualTicker) Tick() {
+	select {
+	case m.ch <- time.Time{}:
+	case <-m.done:
+	}
+}
+
+// Stop unblocks pending and future Tick calls without delivering them.
+func (m *ManualTicker) Stop() {
+	m.stopOnce.Do(func() { close(m.done) })
+}

@@ -1,0 +1,66 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"steerq/internal/obs"
+)
+
+func TestManualTickerDeliversAndStops(t *testing.T) {
+	m := obs.NewManualTicker()
+
+	received := make(chan struct{})
+	go func() {
+		<-m.C()
+		close(received)
+	}()
+	m.Tick()
+	select {
+	case <-received:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tick not delivered")
+	}
+
+	// After Stop, Tick must return without a consumer instead of blocking
+	// forever — that is the whole point of the done channel.
+	m.Stop()
+	done := make(chan struct{})
+	go func() {
+		m.Tick()
+		m.Tick()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Tick blocked after Stop")
+	}
+
+	m.Stop() // idempotent
+}
+
+func TestManualTickerStopUnblocksPendingTick(t *testing.T) {
+	m := obs.NewManualTicker()
+	done := make(chan struct{})
+	go func() {
+		m.Tick() // no consumer: blocks until Stop
+		close(done)
+	}()
+	m.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not unblock a pending Tick")
+	}
+}
+
+func TestWallTickerTicks(t *testing.T) {
+	tk := obs.NewWallTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall ticker never ticked")
+	}
+}

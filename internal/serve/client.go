@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// WaitReady polls base's readiness probe until it answers 200 or the budget
+// is exhausted. The budget is counted in poll attempts, not wall time, so
+// callers stay deterministic apart from the sleeps themselves. It is the one
+// boot-wait implementation shared by the CLI (-wait-ready), the load
+// generator's HTTP target setup and the test harnesses.
+func WaitReady(base string, budget time.Duration) error {
+	const pollEvery = 50 * time.Millisecond
+	attempts := int(budget / pollEvery)
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		resp, err := http.Get(base + PathReadyz)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(pollEvery)
+	}
+	return fmt.Errorf("serve: daemon at %s not ready after %v", base, budget)
+}
+
+// WriteFileAtomic writes data via a temp file in path's directory and a
+// rename, so a reader polling the path (an address file, a bundle watcher)
+// never observes a partial write.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

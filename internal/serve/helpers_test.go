@@ -1,12 +1,59 @@
 package serve
 
 import (
+	"bytes"
+	"io"
+	"net/http"
 	"testing"
 
 	"steerq/internal/bitvec"
 	"steerq/internal/bundle"
+	"steerq/internal/obs"
 	"steerq/internal/xrand"
 )
+
+// startServer binds a loopback listener and returns the server plus its base
+// URL. The server is closed when the test finishes.
+func startServer(t *testing.T, reg *obs.Registry) (*Server, string) {
+	t.Helper()
+	s := NewServer(NewSDK(reg), reg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, "http://" + s.Addr()
+}
+
+// get issues a GET and returns (status, body).
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// postBundle uploads an encoded bundle to base's bundle endpoint and returns
+// (status, body).
+func postBundle(t *testing.T, base string, data []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+PathBundles, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", base+PathBundles, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
 
 // vec builds a vector with exactly the given bits set.
 func vec(bits ...int) bitvec.Vector {

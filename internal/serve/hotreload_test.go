@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -143,13 +142,8 @@ func TestHotReloadAtomicHTTP(t *testing.T) {
 
 	post := func(data []byte, wantCode int) {
 		t.Helper()
-		resp, err := http.Post(base+PathBundles, "application/octet-stream", bytes.NewReader(data))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != wantCode {
-			t.Fatalf("POST bundle code %d, want %d", resp.StatusCode, wantCode)
+		if code, _ := postBundle(t, base, data); code != wantCode {
+			t.Fatalf("POST bundle code %d, want %d", code, wantCode)
 		}
 	}
 	for i := 0; i < swaps; i++ {

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -15,33 +14,6 @@ import (
 
 	"steerq/internal/obs"
 )
-
-// startServer binds a loopback listener and returns the server plus its base
-// URL. The server is closed when the test finishes.
-func startServer(t *testing.T, reg *obs.Registry) (*Server, string) {
-	t.Helper()
-	s := NewServer(NewSDK(reg), reg)
-	if err := s.Start("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = s.Close() })
-	return s, "http://" + s.Addr()
-}
-
-// get issues a GET and returns (status, body).
-func get(t *testing.T, url string) (int, string) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, string(body)
-}
 
 func TestLifecycleTransitions(t *testing.T) {
 	reg := obs.NewWithClock(obs.FrozenClock())
@@ -197,18 +169,13 @@ func TestBundlesEndpoint(t *testing.T) {
 	}
 
 	b := testBundle(t, 5, 4)
-	resp, err := http.Post(base+PathBundles, "application/octet-stream",
-		bytes.NewReader(encodeBundle(t, b)))
-	if err != nil {
-		t.Fatal(err)
+	code, body := postBundle(t, base, encodeBundle(t, b))
+	if code != 200 {
+		t.Fatalf("POST bundle code %d", code)
 	}
 	var info BundleInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
 		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("POST bundle code %d", resp.StatusCode)
 	}
 	want := BundleInfo{
 		Version: 5, Workload: "W", Entries: 4,
@@ -218,7 +185,7 @@ func TestBundlesEndpoint(t *testing.T) {
 		t.Fatalf("bundle info %+v, want %+v", info, want)
 	}
 
-	code, body := get(t, base+PathBundles)
+	code, body = get(t, base+PathBundles)
 	var got BundleInfo
 	if err := json.Unmarshal([]byte(body), &got); err != nil {
 		t.Fatal(err)
@@ -228,14 +195,8 @@ func TestBundlesEndpoint(t *testing.T) {
 	}
 
 	// A corrupt upload is refused and the active bundle survives.
-	resp, err = http.Post(base+PathBundles, "application/octet-stream",
-		strings.NewReader("definitely not a bundle"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Fatalf("corrupt POST code %d", resp.StatusCode)
+	if code, _ = postBundle(t, base, []byte("definitely not a bundle")); code != 400 {
+		t.Fatalf("corrupt POST code %d", code)
 	}
 	if _, body = get(t, base+PathBundles); !strings.Contains(body, `"version":5`) {
 		t.Fatalf("active bundle lost after corrupt upload: %s", body)
@@ -245,7 +206,7 @@ func TestBundlesEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.DefaultClient.Do(req)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,14 +4,20 @@ import (
 	"context"
 	"os"
 	"time"
+
+	"steerq/internal/obs"
 )
 
-// Watch polls path every interval and hot-reloads the bundle whenever the
+// Watch polls path on every tick and hot-reloads the bundle whenever the
 // file's (mtime, size) pair changes — the offline pipeline writes bundles
 // with an atomic rename, so a change is always a complete artifact. A file
 // that fails to decode is rejected (counted on the rejected counter) and
 // the active table stays live; the watcher keeps polling, so a later good
 // write recovers automatically. Watch blocks until ctx is canceled.
+//
+// The poll cadence comes from the SDK's NewTicker seam (obs.NewWallTicker
+// unless a test injected an obs.ManualTicker), so watch-driven hot-reload
+// tests advance the watcher explicitly instead of racing a real ticker.
 //
 // onSwap, when non-nil, is invoked after each load attempt with the path's
 // error (nil on a successful swap) — the daemon logs through it.
@@ -19,10 +25,11 @@ func (s *SDK) Watch(ctx context.Context, path string, interval time.Duration, on
 	if interval <= 0 {
 		interval = time.Second
 	}
-	// The poll cadence is operational, not part of any deterministic
-	// output; lookups and goldens never observe it.
-	// steerq:allow-wallclock — operational poll cadence only.
-	t := time.NewTicker(interval)
+	newTicker := s.NewTicker
+	if newTicker == nil {
+		newTicker = obs.NewWallTicker
+	}
+	t := newTicker(interval)
 	defer t.Stop()
 	var lastMod time.Time
 	lastSize := int64(-1)
@@ -30,7 +37,7 @@ func (s *SDK) Watch(ctx context.Context, path string, interval time.Duration, on
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 			fi, err := os.Stat(path)
 			if err != nil {
 				continue

@@ -10,10 +10,58 @@ import (
 	"steerq/internal/obs"
 )
 
+// startWatch wires a manual ticker into sdk and runs Watch in the
+// background, returning the ticker, the swap-callback channel and the
+// watcher's done channel. Every poll is driven explicitly by Tick, so the
+// tests are deterministic: no real timers, no sleeps.
+func startWatch(ctx context.Context, sdk *SDK, path string) (*obs.ManualTicker, chan error, chan struct{}) {
+	ticker := obs.NewManualTicker()
+	sdk.NewTicker = func(time.Duration) obs.Ticker { return ticker }
+	swaps := make(chan error, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sdk.Watch(ctx, path, time.Second, func(err error) { swaps <- err })
+	}()
+	return ticker, swaps, done
+}
+
+// pollOnce drives exactly one complete poll: the first Tick starts it, the
+// second returns only once the loop is back at its receive — i.e. the poll
+// (and any swap callback it made) has finished.
+func pollOnce(ticker *obs.ManualTicker) {
+	ticker.Tick()
+	ticker.Tick()
+}
+
+// wantSwap asserts the last completed poll reported exactly one swap with
+// the wanted error-ness; wantNoSwap asserts it reported none. Both read a
+// buffered channel after pollOnce, so there is no timing window.
+func wantSwap(t *testing.T, stage string, swaps chan error, wantErr bool) {
+	t.Helper()
+	select {
+	case err := <-swaps:
+		if (err != nil) != wantErr {
+			t.Fatalf("%s: swap error %v, wantErr=%v", stage, err, wantErr)
+		}
+	default:
+		t.Fatalf("%s: poll completed without a swap callback", stage)
+	}
+}
+
+func wantNoSwap(t *testing.T, stage string, swaps chan error) {
+	t.Helper()
+	select {
+	case err := <-swaps:
+		t.Fatalf("%s: unexpected swap callback: %v", stage, err)
+	default:
+	}
+}
+
 // TestWatchReloadsRejectsAndRecovers walks the watcher through its whole
 // contract on one file: pick up the initial bundle, pick up a replacement,
 // reject a corrupt overwrite without dropping the active table, and recover
-// when a good bundle lands again.
+// when a good bundle lands again — one explicitly driven poll per step.
 func TestWatchReloadsRejectsAndRecovers(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "active.stqb")
@@ -24,53 +72,52 @@ func TestWatchReloadsRejectsAndRecovers(t *testing.T) {
 	sdk := NewSDK(obs.NewWithClock(obs.FrozenClock()))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	swaps := make(chan error, 64)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sdk.Watch(ctx, path, 5*time.Millisecond, func(err error) { swaps <- err })
-	}()
+	ticker, swaps, done := startWatch(ctx, sdk, path)
 
-	waitSwap := func(stage string, wantErr bool) {
-		t.Helper()
-		select {
-		case err := <-swaps:
-			if (err != nil) != wantErr {
-				t.Fatalf("%s: swap error %v, wantErr=%v", stage, err, wantErr)
-			}
-		case <-time.After(5 * time.Second):
-			t.Fatalf("%s: watcher never reacted", stage)
-		}
-	}
-
-	waitSwap("initial load", false)
+	pollOnce(ticker)
+	wantSwap(t, "initial load", swaps, false)
 	if v := sdk.Active().Version(); v != 1 {
 		t.Fatalf("initial version %d", v)
 	}
 
-	if err := testBundle(t, 2, 3).WriteFile(path); err != nil {
+	// An unchanged file polls quietly: same (mtime, size), no reload.
+	pollOnce(ticker)
+	wantNoSwap(t, "unchanged file", swaps)
+
+	// Each successive bundle has a different entry count so its size — not
+	// just its mtime, whose granularity is filesystem-dependent and coarser
+	// than this test — marks the file as changed.
+	if err := testBundle(t, 2, 4).WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	waitSwap("reload", false)
+	pollOnce(ticker)
+	wantSwap(t, "reload", swaps, false)
 	if v := sdk.Active().Version(); v != 2 {
 		t.Fatalf("reloaded version %d", v)
 	}
 
-	// A corrupt overwrite (different size, so the stat check fires) is
-	// rejected; the v2 table stays live.
-	if err := os.WriteFile(path, []byte("scribbled over by a bad deploy"), 0o644); err != nil {
+	// A corrupt overwrite is rejected; the v2 table stays live. The write
+	// goes through a rename, like every deploy, so a concurrent poll sees
+	// either the old bundle or the complete corrupt file — never a torn one.
+	tmp := filepath.Join(dir, "corrupt.tmp")
+	if err := os.WriteFile(tmp, []byte("scribbled over by a bad deploy"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	waitSwap("corrupt overwrite", true)
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	pollOnce(ticker)
+	wantSwap(t, "corrupt overwrite", swaps, true)
 	if v := sdk.Active().Version(); v != 2 {
 		t.Fatalf("corrupt overwrite displaced the table: version %d", v)
 	}
 
 	// The watcher keeps polling, so the next good write recovers.
-	if err := testBundle(t, 3, 4).WriteFile(path); err != nil {
+	if err := testBundle(t, 3, 5).WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	waitSwap("recovery", false)
+	pollOnce(ticker)
+	wantSwap(t, "recovery", swaps, false)
 	if v := sdk.Active().Version(); v != 3 {
 		t.Fatalf("recovered version %d", v)
 	}
@@ -81,6 +128,9 @@ func TestWatchReloadsRejectsAndRecovers(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("watcher did not stop on context cancel")
 	}
+	// The watcher stopped its ticker on the way out, so a stray tick is a
+	// no-op rather than a deadlock.
+	ticker.Tick()
 }
 
 // TestWatchMissingFile starts the watcher on a path that does not exist yet:
@@ -91,15 +141,12 @@ func TestWatchMissingFile(t *testing.T) {
 	sdk := NewSDK(obs.NewWithClock(obs.FrozenClock()))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	swaps := make(chan error, 8)
-	go sdk.Watch(ctx, path, 5*time.Millisecond, func(err error) { swaps <- err })
+	ticker, swaps, done := startWatch(ctx, sdk, path)
 
-	time.Sleep(30 * time.Millisecond)
-	select {
-	case err := <-swaps:
-		t.Fatalf("swap callback before the file exists: %v", err)
-	default:
+	for i := 0; i < 3; i++ {
+		pollOnce(ticker)
 	}
+	wantNoSwap(t, "missing file", swaps)
 	if sdk.Ready() {
 		t.Fatal("ready with no file")
 	}
@@ -107,15 +154,16 @@ func TestWatchMissingFile(t *testing.T) {
 	if err := testBundle(t, 4, 2).WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-swaps:
-		if err != nil {
-			t.Fatalf("late file load: %v", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("watcher never picked up the late file")
-	}
+	pollOnce(ticker)
+	wantSwap(t, "late file load", swaps, false)
 	if v := sdk.Active().Version(); v != 4 {
 		t.Fatalf("late-file version %d", v)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop on context cancel")
 	}
 }

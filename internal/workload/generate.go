@@ -79,6 +79,24 @@ func ZipfWeights(n int, s float64) []float64 {
 	return w
 }
 
+// ZipfProbs returns the Zipf(s) popularity law over ranks 1..n as a
+// probability vector: prob[k] ∝ (k+1)^-s, normalized to sum to 1. The load
+// generator draws request signatures from this — ZipfWeights scales the same
+// law to mean 1 for arrival *volumes*, ZipfProbs to total 1 for per-request
+// *draws*. s=0 is the uniform limit.
+func ZipfProbs(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
 // Shape names, indexing ShapeWeights.
 var shapeNames = []string{
 	"cookRaw", "joinAgg", "multiJoin", "unionCook",

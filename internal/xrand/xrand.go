@@ -9,6 +9,7 @@
 package xrand
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -117,6 +118,18 @@ func (s *Source) Norm(mean, stddev float64) float64 {
 // and the noise model both use this distribution.
 func (s *Source) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Exp returns an exponentially distributed float64 with the given rate
+// (mean 1/rate). Inter-arrival gaps of a Poisson process are exponential,
+// which is what the open-loop load generator schedules arrivals with. It
+// panics if rate <= 0.
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		// steerq:allow-panic — programmer error, exactly like Intn(0).
+		panic(fmt.Sprintf("xrand: Exp rate %g <= 0", rate))
+	}
+	return s.gen().ExpFloat64() / rate
 }
 
 // Pareto returns a Pareto(xm, alpha) sample: heavy-tailed sizes for inputs

@@ -201,3 +201,32 @@ func TestBoolProbability(t *testing.T) {
 		t.Fatalf("Bool(0.25) frequency %v", frac)
 	}
 }
+
+func TestExpPositiveDeterministicMean(t *testing.T) {
+	a := New(3).Derive("exp")
+	b := New(3).Derive("exp")
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := a.Exp(4)
+		if x <= 0 {
+			t.Fatalf("Exp returned %g, want > 0", x)
+		}
+		if y := b.Exp(4); y != x {
+			t.Fatal("identical streams diverge on Exp")
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.25) > 0.01 {
+		t.Fatalf("Exp(4) mean %g, want ~0.25", mean)
+	}
+}
+
+func TestExpBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
